@@ -1,0 +1,261 @@
+//! Lowering surface type expressions to internal types.
+//!
+//! Shared by class-environment construction (instance heads, method
+//! signatures) and by `tc-core` (top-level type signatures). Lowering
+//! validates constructor names and arities — the language has a closed
+//! set of type constructors (`Int`, `Bool`, `List`, and `->`), so an
+//! unknown or misapplied constructor is a diagnostic, not a latent
+//! runtime surprise.
+
+use std::collections::HashMap;
+use tc_syntax::{Diagnostics, PredExpr, QualTypeExpr, Stage, TypeExpr};
+use tc_types::{Pred, Qual, TyVar, Type, VarGen};
+
+/// Arity table for the closed constructor set.
+fn con_arity(name: &str) -> Option<usize> {
+    match name {
+        "Int" | "Bool" => Some(0),
+        "List" => Some(1),
+        _ => None,
+    }
+}
+
+/// A lowering scope: maps surface type-variable names (`a`, `b`) to
+/// internal [`TyVar`]s, minting fresh ones on first use.
+#[derive(Debug, Default)]
+pub struct LowerCtx {
+    pub vars: HashMap<String, TyVar>,
+}
+
+impl LowerCtx {
+    pub fn new() -> Self {
+        LowerCtx::default()
+    }
+
+    pub fn var(&mut self, name: &str, gen: &mut VarGen) -> TyVar {
+        if let Some(v) = self.vars.get(name) {
+            return *v;
+        }
+        let v = gen.fresh();
+        self.vars.insert(name.to_string(), v);
+        v
+    }
+}
+
+/// Lower a type expression. Emits diagnostics for unknown constructors
+/// and arity violations but always produces a type (unknown pieces
+/// become fresh variables) so checking can continue.
+pub fn lower_type(
+    te: &TypeExpr,
+    ctx: &mut LowerCtx,
+    gen: &mut VarGen,
+    diags: &mut Diagnostics,
+) -> Type {
+    let t = lower_rec(te, ctx, gen, diags);
+    check_arity(&t, te, diags);
+    t
+}
+
+fn lower_rec(te: &TypeExpr, ctx: &mut LowerCtx, gen: &mut VarGen, diags: &mut Diagnostics) -> Type {
+    match te {
+        TypeExpr::Var(n, _) => Type::Var(ctx.var(n, gen)),
+        TypeExpr::Con(n, span) => {
+            if con_arity(n).is_none() {
+                diags.error(
+                    Stage::Classes,
+                    "E0310",
+                    format!("unknown type constructor `{n}` (known: Int, Bool, List)"),
+                    *span,
+                );
+                // Recover with a fresh variable so inference continues.
+                Type::Var(gen.fresh())
+            } else {
+                Type::Con(n.clone())
+            }
+        }
+        TypeExpr::App(f, a, _) => {
+            let lf = lower_rec(f, ctx, gen, diags);
+            let la = lower_rec(a, ctx, gen, diags);
+            Type::App(Box::new(lf), Box::new(la))
+        }
+        TypeExpr::Fun(a, b, _) => {
+            let la = lower_rec(a, ctx, gen, diags);
+            let lb = lower_rec(b, ctx, gen, diags);
+            Type::Fun(Box::new(la), Box::new(lb))
+        }
+    }
+}
+
+/// Post-hoc arity validation on the lowered type. Walks the application
+/// spine of every node; reports a diagnostic when a constructor is
+/// under- or over-applied (e.g. bare `List`, or `Int Bool`).
+fn check_arity(t: &Type, origin: &TypeExpr, diags: &mut Diagnostics) {
+    // Iterative traversal; each node checked once.
+    let mut stack = vec![(t, true)];
+    while let Some((node, is_full_spine)) = stack.pop() {
+        match node {
+            Type::Con(n) => {
+                if is_full_spine {
+                    if let Some(arity) = con_arity(n) {
+                        if arity != 0 {
+                            diags.error(
+                                Stage::Classes,
+                                "E0311",
+                                format!(
+                                    "type constructor `{n}` expects {arity} argument(s), got 0"
+                                ),
+                                origin.span(),
+                            );
+                        }
+                    }
+                }
+            }
+            Type::App(_, _) if is_full_spine => {
+                // Walk the spine to find the head and count args.
+                let mut head = node;
+                let mut args: Vec<&Type> = Vec::new();
+                while let Type::App(f, a) = head {
+                    args.push(a);
+                    head = f;
+                }
+                match head {
+                    Type::Con(n) => {
+                        if let Some(arity) = con_arity(n) {
+                            if arity != args.len() {
+                                diags.error(
+                                    Stage::Classes,
+                                    "E0311",
+                                    format!(
+                                        "type constructor `{n}` expects {arity} argument(s), got {}",
+                                        args.len()
+                                    ),
+                                    origin.span(),
+                                );
+                            }
+                        }
+                    }
+                    Type::Var(_) => {
+                        // Higher-kinded variable application (`m a`): the
+                        // language has no kind system, so reject it
+                        // explicitly rather than inferring nonsense.
+                        diags.error(
+                            Stage::Classes,
+                            "E0313",
+                            "application of a type variable is not supported (no higher kinds)"
+                                .to_string(),
+                            origin.span(),
+                        );
+                    }
+                    _ => {}
+                }
+                for a in args {
+                    stack.push((a, true));
+                }
+            }
+            Type::App(f, a) => {
+                stack.push((f, false));
+                stack.push((a, true));
+            }
+            Type::Fun(x, y) => {
+                stack.push((x, true));
+                stack.push((y, true));
+            }
+            Type::Var(_) => {}
+        }
+    }
+}
+
+/// Lower a predicate.
+pub fn lower_pred(
+    pe: &PredExpr,
+    ctx: &mut LowerCtx,
+    gen: &mut VarGen,
+    diags: &mut Diagnostics,
+) -> Pred {
+    let ty = lower_type(&pe.ty, ctx, gen, diags);
+    Pred::new(pe.class.clone(), ty, pe.span)
+}
+
+/// Lower a qualified type (`context => type`), sharing one variable
+/// scope between the context and the body.
+pub fn lower_qual_type(
+    qt: &QualTypeExpr,
+    ctx: &mut LowerCtx,
+    gen: &mut VarGen,
+    diags: &mut Diagnostics,
+) -> Qual<Type> {
+    let preds = qt
+        .context
+        .iter()
+        .map(|p| lower_pred(p, ctx, gen, diags))
+        .collect();
+    let ty = lower_type(&qt.ty, ctx, gen, diags);
+    Qual::new(preds, ty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_syntax::Span;
+
+    fn lower_src_type(src: &str) -> (Type, Diagnostics) {
+        // Parse a type by wrapping it in a signature.
+        let (toks, _) = tc_syntax::lex(&format!("x :: {src};"));
+        let (prog, pdiags) = tc_syntax::parse_program(&toks, Default::default());
+        assert!(!pdiags.has_errors(), "fixture parse failed: {src}");
+        let mut diags = Diagnostics::new();
+        let mut ctx = LowerCtx::new();
+        let mut gen = VarGen::new();
+        let t = lower_type(&prog.sigs[0].qual_ty.ty, &mut ctx, &mut gen, &mut diags);
+        (t, diags)
+    }
+
+    #[test]
+    fn lowers_list_of_int() {
+        let (t, diags) = lower_src_type("List Int -> Bool");
+        assert!(diags.is_empty(), "{:?}", diags.into_vec());
+        assert_eq!(t, Type::fun(Type::list(Type::int()), Type::bool()));
+    }
+
+    #[test]
+    fn unknown_con_is_diagnostic() {
+        let (_, diags) = lower_src_type("Set Int");
+        assert!(diags.iter().any(|d| d.code == "E0310"));
+    }
+
+    #[test]
+    fn bare_list_is_arity_error() {
+        let (_, diags) = lower_src_type("List");
+        assert!(diags.iter().any(|d| d.code == "E0311"));
+    }
+
+    #[test]
+    fn over_applied_int() {
+        let (_, diags) = lower_src_type("Int Bool");
+        assert!(diags.iter().any(|d| d.code == "E0311"));
+    }
+
+    #[test]
+    fn hkt_application_rejected() {
+        let (_, diags) = lower_src_type("m Int");
+        assert!(diags.iter().any(|d| d.code == "E0313"));
+    }
+
+    #[test]
+    fn shared_scope_for_qual() {
+        let (toks, _) = tc_syntax::lex("x :: Eq a => a -> Bool;");
+        let (prog, _) = tc_syntax::parse_program(&toks, Default::default());
+        let mut diags = Diagnostics::new();
+        let mut ctx = LowerCtx::new();
+        let mut gen = VarGen::new();
+        let q = lower_qual_type(&prog.sigs[0].qual_ty, &mut ctx, &mut gen, &mut diags);
+        assert!(diags.is_empty());
+        // `a` in the context and in the body must be the same variable.
+        let body_var = match &q.head {
+            Type::Fun(a, _) => (**a).clone(),
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(q.preds[0].ty, body_var);
+        let _ = Span::DUMMY;
+    }
+}

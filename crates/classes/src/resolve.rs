@@ -1,0 +1,597 @@
+//! Budgeted instance resolution, entailment, and context reduction.
+//!
+//! Resolution is a backward-chaining search over instances and
+//! superclass edges. Two robustness mechanisms make it total:
+//!
+//! * a **visited-goal set** detects exact cycles (a goal recurring as
+//!   its own subgoal, as with `instance C (List a) => C (List a)`),
+//!   reported as [`ResolveError::Cycle`];
+//! * a **[`ReduceBudget`]** (recursion depth + total step count) stops
+//!   ever-growing goal chains (`instance C (List (List a)) => C (List a)`)
+//!   with [`ResolveError::BudgetExhausted`].
+//!
+//! Successful resolution returns a [`DictDeriv`]: an explicit recipe
+//! for constructing the dictionary, consumed by `tc-core`'s dictionary
+//! conversion pass. This mirrors the tabled-resolution observation that
+//! instance search must be treated as a real (terminating) search
+//! procedure, not naive recursion.
+
+use crate::env::ClassEnv;
+use std::collections::HashSet;
+use std::fmt;
+use tc_types::{Pred, Type};
+
+/// Limits for one resolution / context-reduction call.
+#[derive(Debug, Clone, Copy)]
+pub struct ReduceBudget {
+    /// Maximum backward-chaining depth.
+    pub max_depth: usize,
+    /// Maximum total goals examined.
+    pub max_steps: usize,
+}
+
+impl Default for ReduceBudget {
+    fn default() -> Self {
+        ReduceBudget {
+            max_depth: 64,
+            max_steps: 10_000,
+        }
+    }
+}
+
+/// Why a predicate could not be resolved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResolveError {
+    /// No instance (and no assumption) covers the predicate.
+    NoInstance { pred: Pred },
+    /// The goal recurred as its own subgoal.
+    Cycle { pred: Pred, trail: Vec<Pred> },
+    /// Depth or step budget exhausted.
+    BudgetExhausted { pred: Pred, depth: bool },
+    /// The predicate mentions an unknown class (already reported at
+    /// build time; resolution refuses rather than guessing).
+    UnknownClass { pred: Pred },
+}
+
+impl ResolveError {
+    pub fn pred(&self) -> &Pred {
+        match self {
+            ResolveError::NoInstance { pred }
+            | ResolveError::Cycle { pred, .. }
+            | ResolveError::BudgetExhausted { pred, .. }
+            | ResolveError::UnknownClass { pred } => pred,
+        }
+    }
+}
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResolveError::NoInstance { pred } => write!(f, "no instance for `{pred}`"),
+            ResolveError::Cycle { pred, trail } => {
+                write!(f, "instance resolution for `{pred}` is cyclic")?;
+                if !trail.is_empty() {
+                    write!(f, " (via ")?;
+                    for (i, p) in trail.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " -> ")?;
+                        }
+                        write!(f, "`{p}`")?;
+                    }
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            ResolveError::BudgetExhausted { pred, depth } => write!(
+                f,
+                "instance resolution for `{pred}` exceeded the {} budget",
+                if *depth { "depth" } else { "step" }
+            ),
+            ResolveError::UnknownClass { pred } => {
+                write!(f, "`{pred}` refers to an unknown class")
+            }
+        }
+    }
+}
+
+/// A dictionary construction recipe.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DictDeriv {
+    /// The dictionary is an assumption in scope (a dictionary lambda
+    /// parameter); `index` is the position in the assumption list the
+    /// resolution was run against.
+    FromParam { index: usize },
+    /// Project the `slot`-th superclass dictionary out of `base`.
+    FromSuper { base: Box<DictDeriv>, slot: usize },
+    /// Apply instance `inst_id`'s dictionary constructor to the
+    /// dictionaries for its context predicates.
+    FromInstance {
+        inst_id: usize,
+        args: Vec<DictDeriv>,
+    },
+}
+
+struct Search<'e> {
+    env: &'e ClassEnv,
+    assumptions: &'e [Pred],
+    budget: ReduceBudget,
+    steps: usize,
+    /// Goals on the current derivation path (for cycle detection).
+    in_progress: Vec<(String, Type)>,
+}
+
+impl<'e> Search<'e> {
+    fn resolve(&mut self, pred: &Pred, depth: usize) -> Result<DictDeriv, ResolveError> {
+        self.steps += 1;
+        if self.steps > self.budget.max_steps {
+            return Err(ResolveError::BudgetExhausted {
+                pred: pred.clone(),
+                depth: false,
+            });
+        }
+        if depth > self.budget.max_depth {
+            return Err(ResolveError::BudgetExhausted {
+                pred: pred.clone(),
+                depth: true,
+            });
+        }
+
+        // 1. Direct assumption?
+        for (i, a) in self.assumptions.iter().enumerate() {
+            if a.same_constraint(pred) {
+                return Ok(DictDeriv::FromParam { index: i });
+            }
+        }
+
+        // 2. Reachable from an assumption through superclass edges?
+        //    (`class Eq a => Ord a` + assumption `Ord t` entails `Eq t`.)
+        if let Some(d) = self.via_supers(pred) {
+            return Ok(d);
+        }
+
+        if !self.env.classes.contains_key(&pred.class) {
+            return Err(ResolveError::UnknownClass { pred: pred.clone() });
+        }
+
+        // 3. Cycle check before chaining through instances.
+        let key = (pred.class.clone(), pred.ty.clone());
+        if self.in_progress.contains(&key) {
+            let trail = self
+                .in_progress
+                .iter()
+                .map(|(c, t)| Pred::new(c.clone(), t.clone(), pred.span))
+                .collect();
+            return Err(ResolveError::Cycle {
+                pred: pred.clone(),
+                trail,
+            });
+        }
+
+        // 4. Instance chaining.
+        let Some((inst, subst)) = self.env.matching_instance(pred) else {
+            return Err(ResolveError::NoInstance { pred: pred.clone() });
+        };
+        let inst_id = inst.id;
+        let subgoals: Vec<Pred> = inst
+            .preds
+            .iter()
+            .map(|p| {
+                let mut sp = p.apply(&subst);
+                // Blame the original use site, not the instance decl.
+                sp.span = pred.span;
+                sp
+            })
+            .collect();
+
+        self.in_progress.push(key);
+        let mut args = Vec::with_capacity(subgoals.len());
+        let mut result = Ok(());
+        for sg in &subgoals {
+            match self.resolve(sg, depth + 1) {
+                Ok(d) => args.push(d),
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        self.in_progress.pop();
+        result?;
+        Ok(DictDeriv::FromInstance { inst_id, args })
+    }
+
+    /// BFS over superclass edges from each assumption, looking for
+    /// `pred`. Returns the projection chain if found. The search is
+    /// bounded by a visited set, so superclass graphs (validated
+    /// acyclic at build time, but belt and braces) cannot loop it.
+    fn via_supers(&mut self, pred: &Pred) -> Option<DictDeriv> {
+        let mut queue: Vec<(Pred, DictDeriv)> = self
+            .assumptions
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.clone(), DictDeriv::FromParam { index: i }))
+            .collect();
+        let mut visited: HashSet<(String, Type)> = HashSet::new();
+        let mut qi = 0usize;
+        while qi < queue.len() {
+            if self.steps >= self.budget.max_steps {
+                return None;
+            }
+            self.steps += 1;
+            let (cur, deriv) = queue[qi].clone();
+            qi += 1;
+            if !visited.insert((cur.class.clone(), cur.ty.clone())) {
+                continue;
+            }
+            if cur.same_constraint(pred) {
+                return Some(deriv);
+            }
+            if let Some(ci) = self.env.classes.get(&cur.class) {
+                for (slot, sup) in ci.supers.iter().enumerate() {
+                    queue.push((
+                        Pred::new(sup.clone(), cur.ty.clone(), cur.span),
+                        DictDeriv::FromSuper {
+                            base: Box::new(deriv.clone()),
+                            slot: ci.super_slot(slot),
+                        },
+                    ));
+                }
+            }
+        }
+        None
+    }
+}
+
+impl ClassEnv {
+    /// Resolve `pred` to a dictionary recipe against `assumptions`
+    /// (the dictionary parameters in scope, in order).
+    pub fn resolve(
+        &self,
+        pred: &Pred,
+        assumptions: &[Pred],
+        budget: ReduceBudget,
+    ) -> Result<DictDeriv, ResolveError> {
+        let mut s = Search {
+            env: self,
+            assumptions,
+            budget,
+            steps: 0,
+            in_progress: Vec::new(),
+        };
+        s.resolve(pred, 0)
+    }
+
+    /// Can `pred` be discharged at all (ignoring the recipe)?
+    pub fn entails(&self, pred: &Pred, assumptions: &[Pred], budget: ReduceBudget) -> bool {
+        self.resolve(pred, assumptions, budget).is_ok()
+    }
+
+    /// Context reduction for generalization: rewrite each predicate to
+    /// head-normal form (variable-headed), discharging constructor-headed
+    /// predicates through instances, then drop duplicates and
+    /// predicates entailed by the rest via superclasses.
+    ///
+    /// Returns the reduced context and all resolution errors
+    /// encountered (e.g. `NoInstance` for `Eq (Int -> Int)`).
+    pub fn reduce_context(
+        &self,
+        preds: &[Pred],
+        budget: ReduceBudget,
+    ) -> (Vec<Pred>, Vec<ResolveError>) {
+        let mut hnf: Vec<Pred> = Vec::new();
+        let mut errors: Vec<ResolveError> = Vec::new();
+        let mut steps = 0usize;
+
+        // Phase 1: to HNF. Worklist with explicit budget.
+        let mut work: Vec<(Pred, usize)> = preds.iter().map(|p| (p.clone(), 0)).collect();
+        work.reverse();
+        while let Some((p, depth)) = work.pop() {
+            steps += 1;
+            if steps > budget.max_steps {
+                errors.push(ResolveError::BudgetExhausted {
+                    pred: p,
+                    depth: false,
+                });
+                break;
+            }
+            if p.in_hnf() {
+                hnf.push(p);
+                continue;
+            }
+            if depth > budget.max_depth {
+                errors.push(ResolveError::BudgetExhausted {
+                    pred: p,
+                    depth: true,
+                });
+                continue;
+            }
+            if !self.classes.contains_key(&p.class) {
+                errors.push(ResolveError::UnknownClass { pred: p });
+                continue;
+            }
+            match self.matching_instance(&p) {
+                Some((inst, subst)) => {
+                    for sub in inst.preds.iter().rev() {
+                        let mut sp = sub.apply(&subst);
+                        sp.span = p.span;
+                        work.push((sp, depth + 1));
+                    }
+                }
+                None => errors.push(ResolveError::NoInstance { pred: p }),
+            }
+        }
+
+        // Phase 2: simplify. Keep a predicate only if it is not entailed
+        // by the *other* retained predicates (via superclasses), and
+        // drop structural duplicates.
+        let mut kept: Vec<Pred> = Vec::new();
+        for (i, p) in hnf.iter().enumerate() {
+            let others: Vec<Pred> = kept
+                .iter()
+                .cloned()
+                .chain(hnf.iter().skip(i + 1).cloned())
+                .collect();
+            let redundant = others.iter().any(|o| o.same_constraint(p))
+                || self.resolve_via_supers_only(p, &others, budget).is_some();
+            if !redundant {
+                kept.push(p.clone());
+            }
+        }
+        (kept, errors)
+    }
+
+    /// Entailment using only assumption + superclass edges (no
+    /// instances). Used by simplification, where discharging via an
+    /// instance would be wrong (an HNF pred has a variable head, so no
+    /// instance applies anyway — this is the THIH `bySuper` half).
+    fn resolve_via_supers_only(
+        &self,
+        pred: &Pred,
+        assumptions: &[Pred],
+        budget: ReduceBudget,
+    ) -> Option<DictDeriv> {
+        let mut s = Search {
+            env: self,
+            assumptions,
+            budget,
+            steps: 0,
+            in_progress: Vec::new(),
+        };
+        s.via_supers(pred)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{ClassInfo, Instance};
+    use tc_syntax::Span;
+    use tc_types::{Scheme, TyVar};
+
+    fn sp() -> Span {
+        Span::DUMMY
+    }
+
+    /// Eq (no supers), Ord (super Eq); instances Eq Int, Eq (List a) <= Eq a, Ord Int.
+    fn env() -> ClassEnv {
+        let mut env = ClassEnv::default();
+        env.classes.insert(
+            "Eq".into(),
+            ClassInfo {
+                name: "Eq".into(),
+                supers: vec![],
+                methods: vec![crate::env::MethodInfo {
+                    name: "eq".into(),
+                    scheme: Scheme::mono(Type::int()),
+                    index: 0,
+                    span: sp(),
+                }],
+                span: sp(),
+            },
+        );
+        env.classes.insert(
+            "Ord".into(),
+            ClassInfo {
+                name: "Ord".into(),
+                supers: vec!["Eq".into()],
+                methods: vec![],
+                span: sp(),
+            },
+        );
+        env.method_owner.insert("eq".into(), "Eq".into());
+        env.instances.insert(
+            "Eq".into(),
+            vec![
+                Instance {
+                    ast_index: 0,
+                    id: 0,
+                    preds: vec![],
+                    head: Pred::new("Eq", Type::int(), sp()),
+                    span: sp(),
+                },
+                Instance {
+                    ast_index: 0,
+                    id: 1,
+                    preds: vec![Pred::new("Eq", Type::Var(TyVar(0)), sp())],
+                    head: Pred::new("Eq", Type::list(Type::Var(TyVar(0))), sp()),
+                    span: sp(),
+                },
+            ],
+        );
+        env.instances.insert(
+            "Ord".into(),
+            vec![Instance {
+                ast_index: 0,
+                id: 2,
+                preds: vec![],
+                head: Pred::new("Ord", Type::int(), sp()),
+                span: sp(),
+            }],
+        );
+        env
+    }
+
+    #[test]
+    fn resolves_ground_instance() {
+        let e = env();
+        let d = e
+            .resolve(&Pred::new("Eq", Type::int(), sp()), &[], Default::default())
+            .unwrap();
+        assert_eq!(
+            d,
+            DictDeriv::FromInstance {
+                inst_id: 0,
+                args: vec![]
+            }
+        );
+    }
+
+    #[test]
+    fn resolves_nested_instance() {
+        let e = env();
+        let d = e
+            .resolve(
+                &Pred::new("Eq", Type::list(Type::list(Type::int())), sp()),
+                &[],
+                Default::default(),
+            )
+            .unwrap();
+        // Eq (List (List Int)) = inst1 (inst1 (inst0))
+        assert_eq!(
+            d,
+            DictDeriv::FromInstance {
+                inst_id: 1,
+                args: vec![DictDeriv::FromInstance {
+                    inst_id: 1,
+                    args: vec![DictDeriv::FromInstance {
+                        inst_id: 0,
+                        args: vec![]
+                    }]
+                }]
+            }
+        );
+    }
+
+    #[test]
+    fn resolves_from_assumption_and_superclass() {
+        let e = env();
+        let assump = [Pred::new("Ord", Type::Var(TyVar(5)), sp())];
+        // Ord t5 is a param; Eq t5 comes from Ord's superclass slot 0.
+        let d1 = e.resolve(&assump[0], &assump, Default::default()).unwrap();
+        assert_eq!(d1, DictDeriv::FromParam { index: 0 });
+        let d2 = e
+            .resolve(
+                &Pred::new("Eq", Type::Var(TyVar(5)), sp()),
+                &assump,
+                Default::default(),
+            )
+            .unwrap();
+        assert_eq!(
+            d2,
+            DictDeriv::FromSuper {
+                base: Box::new(DictDeriv::FromParam { index: 0 }),
+                slot: 0
+            }
+        );
+    }
+
+    #[test]
+    fn missing_instance() {
+        let e = env();
+        let err = e
+            .resolve(
+                &Pred::new("Eq", Type::bool(), sp()),
+                &[],
+                Default::default(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ResolveError::NoInstance { .. }));
+    }
+
+    #[test]
+    fn self_referential_instance_is_cycle() {
+        let mut e = env();
+        // instance Eq Bool => Eq Bool  (exact self-cycle)
+        if let Some(insts) = e.instances.get_mut("Eq") {
+            insts.push(Instance {
+                ast_index: 0,
+                id: 9,
+                preds: vec![Pred::new("Eq", Type::bool(), sp())],
+                head: Pred::new("Eq", Type::bool(), sp()),
+                span: sp(),
+            });
+        }
+        let err = e
+            .resolve(
+                &Pred::new("Eq", Type::bool(), sp()),
+                &[],
+                Default::default(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ResolveError::Cycle { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn growing_goals_hit_budget() {
+        let mut e = ClassEnv::default();
+        e.classes.insert(
+            "C".into(),
+            ClassInfo {
+                name: "C".into(),
+                supers: vec![],
+                methods: vec![],
+                span: sp(),
+            },
+        );
+        // instance C (List (List a)) => C (List a): goals grow forever.
+        e.instances.insert(
+            "C".into(),
+            vec![Instance {
+                ast_index: 0,
+                id: 0,
+                preds: vec![Pred::new(
+                    "C",
+                    Type::list(Type::list(Type::Var(TyVar(0)))),
+                    sp(),
+                )],
+                head: Pred::new("C", Type::list(Type::Var(TyVar(0))), sp()),
+                span: sp(),
+            }],
+        );
+        let err = e
+            .resolve(
+                &Pred::new("C", Type::list(Type::int()), sp()),
+                &[],
+                Default::default(),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, ResolveError::BudgetExhausted { .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn reduce_context_discharges_and_simplifies() {
+        let e = env();
+        let preds = vec![
+            Pred::new("Eq", Type::list(Type::Var(TyVar(3))), sp()), // -> Eq t3
+            Pred::new("Eq", Type::Var(TyVar(3)), sp()),             // duplicate after HNF
+            Pred::new("Ord", Type::Var(TyVar(3)), sp()),            // entails Eq t3
+        ];
+        let (kept, errs) = e.reduce_context(&preds, Default::default());
+        assert!(errs.is_empty(), "{errs:?}");
+        // Only Ord t3 should remain: Eq t3 is implied by its superclass.
+        assert_eq!(kept.len(), 1, "{kept:?}");
+        assert_eq!(kept[0].class, "Ord");
+    }
+
+    #[test]
+    fn reduce_context_reports_no_instance() {
+        let e = env();
+        let preds = vec![Pred::new("Eq", Type::fun(Type::int(), Type::int()), sp())];
+        let (kept, errs) = e.reduce_context(&preds, Default::default());
+        assert!(kept.is_empty());
+        assert!(matches!(errs[0], ResolveError::NoInstance { .. }));
+    }
+}

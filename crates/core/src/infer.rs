@@ -1,0 +1,690 @@
+//! Type inference with placeholder insertion, generalization with
+//! context reduction, signature checking via skolemization, and
+//! per-group dictionary conversion.
+//!
+//! The driver-facing entry point is [`elaborate`]. Top-level bindings
+//! are split into strongly connected groups (see [`crate::scc`]) and
+//! processed in dependency order, THIH-style:
+//!
+//! 1. signature-carrying bindings contribute their declared scheme to
+//!    the global environment up front (so polymorphic recursion and
+//!    forward references through a signature just work);
+//! 2. within a group, signature-less members are inferred together
+//!    (sharing monomorphic type variables, recursive occurrences
+//!    recorded as `RecCall` placeholders), their accumulated context is
+//!    reduced ([`tc_classes::ClassEnv::reduce_context`]) and the group
+//!    is generalized over the retained predicates;
+//! 3. signature-carrying members are then checked against their
+//!    *skolemized* signature (quantified variables become rigid
+//!    `$name` constructors), so an implementation cannot secretly
+//!    specialize a declared type variable;
+//! 4. dictionary conversion replaces each member's placeholders with
+//!    parameter references / projections / instance applications.
+//!
+//! Every failure is a diagnostic plus local recovery (fresh type
+//! variables, [`CoreExpr::Fail`] nodes); elaboration never panics and
+//! always produces a runnable — if possibly failing — core program.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+use tc_classes::{lower_qual_type, ClassEnv, LowerCtx, ReduceBudget};
+use tc_coreir::{CoreExpr, CoreProgram, Literal, PlaceholderKind, PlaceholderTable};
+use tc_syntax::{Diagnostics, Expr, Program, Span, Stage};
+use tc_types::{Pred, Qual, Scheme, Subst, TyVar, Type, TypeErrorKind, VarGen};
+
+use crate::builtins::builtin_env;
+use crate::convert::{convert, ConvertCtx};
+use crate::scc::binding_groups;
+
+/// Result of elaboration: the dictionary-converted core program plus
+/// the inferred/declared scheme of every top-level binding.
+#[derive(Debug, Default)]
+pub struct Elaboration {
+    pub core: CoreProgram,
+    pub schemes: HashMap<String, Scheme>,
+}
+
+struct Infer<'a> {
+    cenv: &'a ClassEnv,
+    gen: &'a mut VarGen,
+    subst: Subst,
+    table: PlaceholderTable,
+    /// Predicates collected while inferring the current member.
+    preds: Vec<Pred>,
+    /// Global value environment: builtins, signatures, generalized
+    /// earlier groups.
+    globals: HashMap<String, Scheme>,
+    /// Monomorphic types of the current group's signature-less members.
+    group_mono: HashMap<String, Type>,
+    /// Lexical scope (lambda / let parameters), innermost last.
+    locals: Vec<(String, Type)>,
+    budget: ReduceBudget,
+    diags: Diagnostics,
+    binds: Vec<(String, CoreExpr)>,
+    /// Surface names of signature type variables, for readable rigid
+    /// ("skolem") constants in diagnostics.
+    skolem_names: HashMap<u32, String>,
+}
+
+impl Infer<'_> {
+    fn fresh_ty(&mut self) -> Type {
+        Type::Var(self.gen.fresh())
+    }
+
+    fn zonk(&self, t: &Type) -> Type {
+        self.subst.apply(t)
+    }
+
+    fn unify_at(&mut self, expected: &Type, found: &Type, span: Span) {
+        if let Err(e) = tc_types::unify(&mut self.subst, expected, found) {
+            let e = e.at(span);
+            let code = match e.kind {
+                TypeErrorKind::Mismatch { .. } => "E0401",
+                TypeErrorKind::Occurs { .. } => "E0402",
+                TypeErrorKind::BudgetExhausted => "E0403",
+            };
+            self.diags
+                .error(Stage::TypeCheck, code, e.to_string(), e.span);
+        }
+    }
+
+    /// Instantiate a scheme at a use site; the instantiated context is
+    /// blamed on the use site's span.
+    fn instantiate(&mut self, sch: &Scheme, span: Span) -> (Vec<Pred>, Type) {
+        let gen = &mut *self.gen;
+        let (mut preds, ty) = sch.instantiate(|| gen.fresh());
+        for p in &mut preds {
+            p.span = span;
+        }
+        (preds, ty)
+    }
+
+    /// Record a wanted predicate and return its dictionary placeholder.
+    fn dict_ph(&mut self, pred: Pred) -> CoreExpr {
+        self.preds.push(pred.clone());
+        CoreExpr::Placeholder(self.table.alloc(PlaceholderKind::Dict { pred }))
+    }
+
+    /// Replace a scheme's quantified variables with rigid constants so
+    /// a checked implementation cannot specialize them. Returns the
+    /// skolemized context and body type.
+    fn skolemize(&self, sch: &Scheme) -> (Vec<Pred>, Type) {
+        let mut s = Subst::new();
+        for v in &sch.vars {
+            let name = match self.skolem_names.get(&v.0) {
+                Some(n) => format!("${n}"),
+                None => format!("$sk{}", v.0),
+            };
+            // Single-node range types cannot overflow the node budget.
+            let _ = s.bind(*v, Type::Con(name));
+        }
+        (
+            sch.qual.preds.iter().map(|p| p.apply(&s)).collect(),
+            s.apply(&sch.qual.head),
+        )
+    }
+
+    fn infer_var(&mut self, n: &str, span: Span) -> (Type, CoreExpr) {
+        if let Some((_, t)) = self.locals.iter().rev().find(|(ln, _)| ln == n) {
+            return (t.clone(), CoreExpr::Var(n.to_string()));
+        }
+        if let Some(t) = self.group_mono.get(n).cloned() {
+            let id = self.table.alloc(PlaceholderKind::RecCall {
+                name: n.to_string(),
+                span,
+            });
+            return (t, CoreExpr::Placeholder(id));
+        }
+        if let Some(sch) = self.globals.get(n).cloned() {
+            let (preds, ty) = self.instantiate(&sch, span);
+            let args: Vec<CoreExpr> = preds.into_iter().map(|p| self.dict_ph(p)).collect();
+            return (ty, CoreExpr::apps(CoreExpr::Var(n.to_string()), args));
+        }
+        let cenv = self.cenv;
+        if let Some((ci, mi)) = cenv.method(n) {
+            let slot = ci.method_slot(mi.index);
+            let sch = mi.scheme.clone();
+            let (preds, ty) = self.instantiate(&sch, span);
+            let mut it = preds.into_iter();
+            return match it.next() {
+                // The first predicate is always the owning class's own
+                // constraint (see tc-classes build).
+                Some(class_pred) => {
+                    let dict = self.dict_ph(class_pred);
+                    let extras: Vec<CoreExpr> = it.map(|p| self.dict_ph(p)).collect();
+                    (
+                        ty,
+                        CoreExpr::apps(CoreExpr::Proj(slot, Box::new(dict)), extras),
+                    )
+                }
+                None => (
+                    ty,
+                    CoreExpr::Fail(format!("method `{n}` lost its class constraint")),
+                ),
+            };
+        }
+        self.diags.error(
+            Stage::TypeCheck,
+            "E0405",
+            format!("unbound variable `{n}`"),
+            span,
+        );
+        (
+            self.fresh_ty(),
+            CoreExpr::Fail(format!("unbound variable `{n}`")),
+        )
+    }
+
+    /// Infer an expression, producing its type and placeholder-bearing
+    /// core translation. Native recursion depth is bounded by the
+    /// parser's expression-depth budget.
+    fn infer_expr(&mut self, e: &Expr) -> (Type, CoreExpr) {
+        match e {
+            Expr::IntLit(n, _) => (Type::int(), CoreExpr::Lit(Literal::Int(*n))),
+            Expr::Con(n, span) => match n.as_str() {
+                "True" => (Type::bool(), CoreExpr::Lit(Literal::Bool(true))),
+                "False" => (Type::bool(), CoreExpr::Lit(Literal::Bool(false))),
+                _ => {
+                    self.diags.error(
+                        Stage::TypeCheck,
+                        "E0404",
+                        format!(
+                            "unknown data constructor `{n}` \
+                             (only True and False exist; lists use nil/cons)"
+                        ),
+                        *span,
+                    );
+                    (
+                        self.fresh_ty(),
+                        CoreExpr::Fail(format!("unknown constructor `{n}`")),
+                    )
+                }
+            },
+            Expr::Var(n, span) => self.infer_var(n, *span),
+            Expr::App(f, x, span) => {
+                let (tf, cf) = self.infer_expr(f);
+                let (tx, cx) = self.infer_expr(x);
+                let r = self.fresh_ty();
+                self.unify_at(&tf, &Type::fun(tx, r.clone()), *span);
+                (r, CoreExpr::app(cf, cx))
+            }
+            Expr::Lam(p, b, _) => {
+                let tv = self.fresh_ty();
+                self.locals.push((p.clone(), tv.clone()));
+                let (tb, cb) = self.infer_expr(b);
+                self.locals.pop();
+                (Type::fun(tv, tb), CoreExpr::Lam(p.clone(), Box::new(cb)))
+            }
+            Expr::Let(binds, body, _) => {
+                // Local bindings are monomorphic (and mutually
+                // recursive): each gets a plain type variable, no
+                // generalization. This sidesteps local dictionary
+                // abstraction exactly as the paper's restricted source
+                // language intends; polymorphism lives at top level.
+                let base = self.locals.len();
+                let vars: Vec<Type> = binds.iter().map(|_| self.fresh_ty()).collect();
+                for (b, t) in binds.iter().zip(&vars) {
+                    self.locals.push((b.name.clone(), t.clone()));
+                }
+                let mut core_binds = Vec::with_capacity(binds.len());
+                for (b, t) in binds.iter().zip(&vars) {
+                    let (tb, cb) = self.infer_expr(&b.expr);
+                    self.unify_at(t, &tb, b.span);
+                    core_binds.push((b.name.clone(), cb));
+                }
+                let (tbody, cbody) = self.infer_expr(body);
+                self.locals.truncate(base);
+                (tbody, CoreExpr::LetRec(core_binds, Box::new(cbody)))
+            }
+            Expr::If(c, t, f, span) => {
+                let (tc_, cc) = self.infer_expr(c);
+                self.unify_at(&Type::bool(), &tc_, c.span());
+                let (tt, ct) = self.infer_expr(t);
+                let (tf_, cf) = self.infer_expr(f);
+                self.unify_at(&tt, &tf_, *span);
+                (tt, CoreExpr::If(Box::new(cc), Box::new(ct), Box::new(cf)))
+            }
+            Expr::Hole(_) => (
+                self.fresh_ty(),
+                CoreExpr::Fail("expression could not be parsed".into()),
+            ),
+        }
+    }
+
+    fn convert_member(
+        &mut self,
+        core: &CoreExpr,
+        assumptions: Vec<Pred>,
+        dict_params: Vec<String>,
+        group_members: Vec<String>,
+        group_retained: Vec<Pred>,
+    ) -> CoreExpr {
+        let cx = ConvertCtx {
+            cenv: self.cenv,
+            table: &self.table,
+            subst: &self.subst,
+            assumptions,
+            dict_params,
+            group_members,
+            group_retained,
+            budget: self.budget,
+        };
+        convert(core, &cx, &mut self.diags)
+    }
+}
+
+/// `a`, `b`, ..., then `a1`, `b1`, ... — positional display names used
+/// for instance-variable skolems.
+fn display_name(i: usize) -> String {
+    let letter = (b'a' + (i % 26) as u8) as char;
+    let suffix = i / 26;
+    if suffix == 0 {
+        letter.to_string()
+    } else {
+        format!("{letter}{suffix}")
+    }
+}
+
+/// Elaborate a whole program against a validated class environment.
+pub fn elaborate(
+    program: &Program,
+    cenv: &ClassEnv,
+    gen: &mut VarGen,
+    budget: ReduceBudget,
+) -> (Elaboration, Diagnostics) {
+    let mut inf = Infer {
+        cenv,
+        gen,
+        subst: Subst::new(),
+        table: PlaceholderTable::new(),
+        preds: Vec::new(),
+        globals: builtin_env(),
+        group_mono: HashMap::new(),
+        locals: Vec::new(),
+        budget,
+        diags: Diagnostics::new(),
+        binds: Vec::new(),
+        skolem_names: HashMap::new(),
+    };
+    let builtin_names: HashSet<String> = inf.globals.keys().cloned().collect();
+
+    // --- Signatures ---------------------------------------------------
+    let mut sig_map: HashMap<String, Scheme> = HashMap::new();
+    for sig in &program.sigs {
+        if cenv.method(&sig.name).is_some() {
+            inf.diags.error(
+                Stage::TypeCheck,
+                "E0415",
+                format!(
+                    "`{}` is a class method; its type comes from the class declaration",
+                    sig.name
+                ),
+                sig.span,
+            );
+            continue;
+        }
+        if sig_map.contains_key(&sig.name) {
+            inf.diags.error(
+                Stage::TypeCheck,
+                "E0406",
+                format!("duplicate type signature for `{}`", sig.name),
+                sig.span,
+            );
+            continue;
+        }
+        let mut ctx = LowerCtx::new();
+        let qual = lower_qual_type(&sig.qual_ty, &mut ctx, inf.gen, &mut inf.diags);
+        for (name, var) in &ctx.vars {
+            inf.skolem_names.insert(var.0, name.clone());
+        }
+        for p in &qual.preds {
+            if cenv.class(&p.class).is_none() {
+                inf.diags.error(
+                    Stage::TypeCheck,
+                    "E0409",
+                    format!("unknown class `{}` in signature context", p.class),
+                    p.span,
+                );
+            }
+        }
+        sig_map.insert(sig.name.clone(), Scheme::generalize(qual, &BTreeSet::new()));
+    }
+    let bound: HashSet<&str> = program.bindings.iter().map(|b| b.name.as_str()).collect();
+    for sig in &program.sigs {
+        if sig_map.contains_key(&sig.name) && !bound.contains(sig.name.as_str()) {
+            inf.diags.warning(
+                Stage::TypeCheck,
+                "E0407",
+                format!("type signature for `{}` has no binding", sig.name),
+                sig.span,
+            );
+        }
+    }
+
+    // --- Duplicate / shadowing checks ---------------------------------
+    let mut seen: HashSet<&str> = HashSet::new();
+    let mut skip: HashSet<usize> = HashSet::new();
+    for (i, b) in program.bindings.iter().enumerate() {
+        if !seen.insert(b.name.as_str()) {
+            inf.diags.error(
+                Stage::TypeCheck,
+                "E0408",
+                format!(
+                    "duplicate definition of `{}` (first definition wins)",
+                    b.name
+                ),
+                b.span,
+            );
+            skip.insert(i);
+            continue;
+        }
+        if cenv.method(&b.name).is_some() {
+            inf.diags.error(
+                Stage::TypeCheck,
+                "E0414",
+                format!(
+                    "`{}` is a class method and cannot be redefined at top level \
+                     (the binding shadows the method here)",
+                    b.name
+                ),
+                b.span,
+            );
+        } else if builtin_names.contains(&b.name) {
+            inf.diags.warning(
+                Stage::TypeCheck,
+                "E0414",
+                format!("binding `{}` shadows a builtin of the same name", b.name),
+                b.span,
+            );
+        }
+    }
+
+    // Declared schemes are visible everywhere, up front.
+    for (name, sch) in &sig_map {
+        if bound.contains(name.as_str()) {
+            inf.globals.insert(name.clone(), sch.clone());
+        }
+    }
+
+    // --- Binding groups, in dependency order --------------------------
+    let groups = binding_groups(&program.bindings);
+    for (gi, group) in groups.into_iter().enumerate() {
+        let members: Vec<usize> = group.into_iter().filter(|i| !skip.contains(i)).collect();
+        if members.is_empty() {
+            continue;
+        }
+        let (sigless, sigd): (Vec<usize>, Vec<usize>) = members
+            .iter()
+            .partition(|&&i| !sig_map.contains_key(&program.bindings[i].name));
+
+        // 1. Monomorphic placeholders for signature-less members.
+        inf.group_mono.clear();
+        for &i in &sigless {
+            let t = inf.fresh_ty();
+            inf.group_mono.insert(program.bindings[i].name.clone(), t);
+        }
+
+        // 2. Infer signature-less bodies together.
+        let mut outs: Vec<(String, CoreExpr, Vec<Pred>)> = Vec::new();
+        for &i in &sigless {
+            let b = &program.bindings[i];
+            inf.preds.clear();
+            let (t, c) = inf.infer_expr(&b.expr);
+            let mono = inf.group_mono[&b.name].clone();
+            inf.unify_at(&mono, &t, b.span);
+            let collected = std::mem::take(&mut inf.preds);
+            outs.push((b.name.clone(), c, collected));
+        }
+
+        // 3. Reduce the group's accumulated context and generalize.
+        let all_preds: Vec<Pred> = outs
+            .iter()
+            .flat_map(|(_, _, ps)| ps.iter())
+            .map(|p| p.apply(&inf.subst))
+            .collect();
+        let (retained, errors) = cenv.reduce_context(&all_preds, budget);
+        for e in &errors {
+            inf.diags
+                .error(Stage::TypeCheck, "E0410", e.to_string(), e.pred().span);
+        }
+        let mut gen_vars: BTreeSet<TyVar> = BTreeSet::new();
+        let mut member_types: HashMap<String, Type> = HashMap::new();
+        for (name, _, _) in &outs {
+            let t = inf.zonk(&inf.group_mono[name]);
+            gen_vars.extend(t.free_vars());
+            member_types.insert(name.clone(), t);
+        }
+        for p in &retained {
+            if !p.free_vars().is_subset(&gen_vars) {
+                inf.diags.error(
+                    Stage::TypeCheck,
+                    "E0411",
+                    format!(
+                        "ambiguous constraint `{p}`: its type variable is not fixed \
+                         by the binding group's type"
+                    ),
+                    p.span,
+                );
+            }
+        }
+        let dict_params: Vec<String> = (0..retained.len())
+            .map(|k| format!("$dg{gi}${k}"))
+            .collect();
+        let group_names: Vec<String> = outs.iter().map(|(n, _, _)| n.clone()).collect();
+        for (name, _, _) in &outs {
+            let qual = Qual::new(retained.clone(), member_types[name].clone());
+            // Quantify over the whole group's variables (THIH-style),
+            // restricted to those actually occurring in this scheme.
+            let vars: Vec<TyVar> = qual
+                .free_vars()
+                .into_iter()
+                .filter(|v| gen_vars.contains(v))
+                .collect();
+            inf.globals.insert(name.clone(), Scheme { vars, qual });
+        }
+
+        // 4. Dictionary conversion for signature-less members.
+        for (name, core, _) in &outs {
+            let converted = inf.convert_member(
+                core,
+                retained.clone(),
+                dict_params.clone(),
+                group_names.clone(),
+                retained.clone(),
+            );
+            inf.binds.push((
+                name.clone(),
+                CoreExpr::lams(dict_params.iter().cloned(), converted),
+            ));
+        }
+        inf.group_mono.clear();
+
+        // 5. Check signature-carrying members against their skolemized
+        //    declared type. Same-group signature-less siblings are used
+        //    through their (just generalized) schemes.
+        for &i in &sigd {
+            let b = &program.bindings[i];
+            let Some(sch) = sig_map.get(&b.name).cloned() else {
+                continue;
+            };
+            let (sk_preds, sk_ty) = inf.skolemize(&sch);
+            inf.preds.clear();
+            let (t, c) = inf.infer_expr(&b.expr);
+            inf.unify_at(&sk_ty, &t, b.span);
+            let params: Vec<String> = (0..sk_preds.len())
+                .map(|k| format!("$ds${}${k}", b.name))
+                .collect();
+            let converted =
+                inf.convert_member(&c, sk_preds, params.clone(), Vec::new(), Vec::new());
+            inf.binds
+                .push((b.name.clone(), CoreExpr::lams(params, converted)));
+        }
+    }
+
+    // --- Instance dictionary constructors ------------------------------
+    elaborate_instances(&mut inf, program);
+
+    // --- Entry point ---------------------------------------------------
+    let has_main = inf.binds.iter().any(|(n, _)| n == "main");
+    if has_main {
+        if let Some(sch) = inf.globals.get("main") {
+            if !sch.qual.preds.is_empty() {
+                inf.diags.error(
+                    Stage::TypeCheck,
+                    "E0413",
+                    format!("`main` must not have a class context, but its type is `{sch}`"),
+                    program
+                        .bindings
+                        .iter()
+                        .find(|b| b.name == "main")
+                        .map(|b| b.span)
+                        .unwrap_or(Span::DUMMY),
+                );
+            }
+        }
+    }
+
+    let schemes: HashMap<String, Scheme> = program
+        .bindings
+        .iter()
+        .filter_map(|b| {
+            inf.globals
+                .get(&b.name)
+                .map(|s| (b.name.clone(), s.apply(&inf.subst)))
+        })
+        .collect();
+
+    (
+        Elaboration {
+            core: CoreProgram {
+                binds: inf.binds,
+                main: has_main.then(|| "main".to_string()),
+            },
+            schemes,
+        },
+        inf.diags,
+    )
+}
+
+/// Build `$dictN$C$T` constructor bindings: one lambda per context
+/// predicate, returning a tuple of superclass dictionaries followed by
+/// method implementations.
+fn elaborate_instances(inf: &mut Infer<'_>, program: &Program) {
+    let mut insts: Vec<tc_classes::Instance> = inf.cenv.all_instances().cloned().collect();
+    insts.sort_by_key(|i| i.id);
+    for inst in insts {
+        let Some(decl) = program.instances.get(inst.ast_index) else {
+            continue;
+        };
+        let Some(ci) = inf.cenv.class(&inst.head.class).cloned() else {
+            continue;
+        };
+
+        // Skolemize the instance's own variables: the dictionary
+        // constructor must be parametric in them.
+        let mut inst_vars: BTreeSet<TyVar> = inst.head.ty.free_vars();
+        for p in &inst.preds {
+            inst_vars.extend(p.free_vars());
+        }
+        let mut sk = Subst::new();
+        for (k, v) in inst_vars.iter().enumerate() {
+            let _ = sk.bind(*v, Type::Con(format!("${}", display_name(k))));
+        }
+        let mut next_skolem = inst_vars.len();
+        let sk_head = sk.apply(&inst.head.ty);
+        let sk_preds: Vec<Pred> = inst.preds.iter().map(|p| p.apply(&sk)).collect();
+        let iparams: Vec<String> = (0..sk_preds.len())
+            .map(|k| format!("$di{}${k}", inst.id))
+            .collect();
+
+        let mut slots: Vec<CoreExpr> = Vec::new();
+
+        // Superclass dictionary slots, resolved from the instance
+        // context: `instance Ord Int` needs an `Eq Int` in scope.
+        for sup in &ci.supers {
+            let p = Pred::new(sup.clone(), sk_head.clone(), inst.span);
+            let cx = ConvertCtx {
+                cenv: inf.cenv,
+                table: &inf.table,
+                subst: &inf.subst,
+                assumptions: sk_preds.clone(),
+                dict_params: iparams.clone(),
+                group_members: Vec::new(),
+                group_retained: Vec::new(),
+                budget: inf.budget,
+            };
+            slots.push(cx.resolve_pred(&p, &mut inf.diags));
+        }
+
+        // Method slots, in class declaration order.
+        for m in &ci.methods {
+            let Some(body) = decl.methods.iter().find(|b| b.name == m.name) else {
+                // Already reported (E0315) at class-env build time.
+                slots.push(CoreExpr::Fail(format!(
+                    "missing method `{}` in instance `{} {}`",
+                    m.name, inst.head.class, sk_head
+                )));
+                continue;
+            };
+
+            // Instantiate the method scheme, pin its class variable to
+            // the (skolemized) instance head, and freeze every other
+            // quantified variable as a fresh rigid constant.
+            let mut minted: Vec<TyVar> = Vec::new();
+            let (mpreds, mty) = {
+                let gen = &mut *inf.gen;
+                m.scheme.instantiate(|| {
+                    let v = gen.fresh();
+                    minted.push(v);
+                    v
+                })
+            };
+            let mut rest = mpreds;
+            if rest.is_empty() {
+                slots.push(CoreExpr::Fail(format!(
+                    "method `{}` lost its class constraint",
+                    m.name
+                )));
+                continue;
+            }
+            let class_pred = rest.remove(0);
+            inf.unify_at(&class_pred.ty, &sk_head, body.span);
+            for v in minted {
+                if inf.subst.apply(&Type::Var(v)) == Type::Var(v) {
+                    let _ = inf
+                        .subst
+                        .bind(v, Type::Con(format!("${}", display_name(next_skolem))));
+                    next_skolem += 1;
+                }
+            }
+            let expected = inf.zonk(&mty);
+            let sk_extra: Vec<Pred> = rest
+                .iter()
+                .map(|p| {
+                    let mut q = p.apply(&inf.subst);
+                    q.span = body.span;
+                    q
+                })
+                .collect();
+
+            inf.preds.clear();
+            let (tb, cb) = inf.infer_expr(&body.expr);
+            inf.unify_at(&expected, &tb, body.span);
+
+            let xparams: Vec<String> = (0..sk_extra.len())
+                .map(|k| format!("$dx{}${}${k}", inst.id, m.name))
+                .collect();
+            let mut assumptions = sk_preds.clone();
+            assumptions.extend(sk_extra);
+            let mut all_params = iparams.clone();
+            all_params.extend(xparams.iter().cloned());
+            let converted =
+                inf.convert_member(&cb, assumptions, all_params, Vec::new(), Vec::new());
+            slots.push(CoreExpr::lams(xparams, converted));
+        }
+
+        inf.binds.push((
+            inst.dict_binding_name(),
+            CoreExpr::lams(iparams, CoreExpr::Tuple(slots)),
+        ));
+    }
+}

@@ -1,0 +1,312 @@
+//! `tc-coreir`: the dictionary-passing core language.
+//!
+//! The elaborator in `tc-core` translates surface programs into this
+//! IR in two steps, exactly as in Peterson & Jones: type inference
+//! inserts [`CoreExpr::Placeholder`] nodes wherever a dictionary will
+//! eventually be needed (the predicate's type may still be an
+//! uninstantiated variable at that point), and a later *dictionary
+//! conversion* pass replaces every placeholder with a concrete
+//! dictionary expression — a parameter reference, a superclass
+//! projection, or an instance dictionary application.
+//!
+//! Dictionaries are plain tuples: for `class (S1, .., Sm) => C a` with
+//! methods `m1 .. mk`, a `C`-dictionary is
+//! `(dS1, .., dSm, m1_impl, .., mk_impl)` and method selection is
+//! [`CoreExpr::Proj`].
+//!
+//! A converted program contains no placeholders; [`CoreProgram::verify_converted`]
+//! checks that invariant so the evaluator never has to.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![deny(clippy::panic)]
+
+use std::collections::HashMap;
+use std::fmt;
+use tc_syntax::Span;
+use tc_types::Pred;
+
+/// Literal values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Literal {
+    Int(i64),
+    Bool(bool),
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Int(n) => write!(f, "{n}"),
+            Literal::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// Identifier for a placeholder created during inference.
+pub type PlaceholderId = u32;
+
+/// What a placeholder stands for.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlaceholderKind {
+    /// A dictionary witnessing `pred`. The predicate's type is zonked
+    /// (final substitution applied) before resolution.
+    Dict { pred: Pred },
+    /// A recursive occurrence of a same-group binding; resolved to the
+    /// binding applied to the group's shared dictionary parameters.
+    RecCall { name: String, span: Span },
+}
+
+/// Side table of placeholders, owned by the elaboration session.
+#[derive(Debug, Clone, Default)]
+pub struct PlaceholderTable {
+    entries: Vec<PlaceholderKind>,
+}
+
+impl PlaceholderTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn alloc(&mut self, kind: PlaceholderKind) -> PlaceholderId {
+        let id = self.entries.len() as PlaceholderId;
+        self.entries.push(kind);
+        id
+    }
+
+    pub fn get(&self, id: PlaceholderId) -> Option<&PlaceholderKind> {
+        self.entries.get(id as usize)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Core expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreExpr {
+    /// Variable reference — a top-level binding, lambda parameter,
+    /// dictionary parameter, or evaluator builtin (`primAddInt`, ...).
+    Var(String),
+    Lit(Literal),
+    App(Box<CoreExpr>, Box<CoreExpr>),
+    Lam(String, Box<CoreExpr>),
+    /// Mutually recursive local bindings.
+    LetRec(Vec<(String, CoreExpr)>, Box<CoreExpr>),
+    If(Box<CoreExpr>, Box<CoreExpr>, Box<CoreExpr>),
+    /// Dictionary construction.
+    Tuple(Vec<CoreExpr>),
+    /// Dictionary slot selection (superclass dict or method).
+    Proj(usize, Box<CoreExpr>),
+    /// Unresolved dictionary reference; present only between inference
+    /// and dictionary conversion.
+    Placeholder(PlaceholderId),
+    /// Deliberate runtime failure with a message. Produced for
+    /// unrecoverable elaboration holes (so a partially-broken program
+    /// still compiles to *something* deterministic) — evaluating it
+    /// yields a structured error, never a panic.
+    Fail(String),
+}
+
+impl CoreExpr {
+    pub fn app(f: CoreExpr, x: CoreExpr) -> CoreExpr {
+        CoreExpr::App(Box::new(f), Box::new(x))
+    }
+
+    /// `f x1 x2 ...`
+    pub fn apps(f: CoreExpr, args: impl IntoIterator<Item = CoreExpr>) -> CoreExpr {
+        args.into_iter().fold(f, CoreExpr::app)
+    }
+
+    /// `\p1 p2 ... -> body`
+    pub fn lams(params: impl IntoIterator<Item = String>, body: CoreExpr) -> CoreExpr {
+        let ps: Vec<String> = params.into_iter().collect();
+        ps.into_iter()
+            .rev()
+            .fold(body, |acc, p| CoreExpr::Lam(p, Box::new(acc)))
+    }
+
+    /// Does any placeholder remain? Iterative traversal.
+    pub fn first_placeholder(&self) -> Option<PlaceholderId> {
+        let mut stack = vec![self];
+        while let Some(e) = stack.pop() {
+            match e {
+                CoreExpr::Placeholder(id) => return Some(*id),
+                CoreExpr::Var(_) | CoreExpr::Lit(_) | CoreExpr::Fail(_) => {}
+                CoreExpr::App(a, b) => {
+                    stack.push(a);
+                    stack.push(b);
+                }
+                CoreExpr::Lam(_, b) => stack.push(b),
+                CoreExpr::LetRec(bs, b) => {
+                    stack.push(b);
+                    for (_, e) in bs {
+                        stack.push(e);
+                    }
+                }
+                CoreExpr::If(c, t, e2) => {
+                    stack.push(c);
+                    stack.push(t);
+                    stack.push(e2);
+                }
+                CoreExpr::Tuple(xs) => stack.extend(xs.iter()),
+                CoreExpr::Proj(_, b) => stack.push(b),
+            }
+        }
+        None
+    }
+}
+
+/// A fully elaborated program: top-level bindings (one mutually
+/// recursive namespace) and the entry-point name, if any.
+#[derive(Debug, Clone, Default)]
+pub struct CoreProgram {
+    pub binds: Vec<(String, CoreExpr)>,
+    pub main: Option<String>,
+}
+
+impl CoreProgram {
+    pub fn lookup(&self, name: &str) -> Option<&CoreExpr> {
+        self.binds.iter().find(|(n, _)| n == name).map(|(_, e)| e)
+    }
+
+    /// Check the "no placeholders remain" invariant; returns the names
+    /// of offending bindings (empty = converted).
+    pub fn verify_converted(&self) -> Vec<&str> {
+        self.binds
+            .iter()
+            .filter(|(_, e)| e.first_placeholder().is_some())
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+
+    /// Bindings as a map view (names are unique after elaboration).
+    pub fn as_map(&self) -> HashMap<&str, &CoreExpr> {
+        self.binds.iter().map(|(n, e)| (n.as_str(), e)).collect()
+    }
+}
+
+/// Compact pretty-printer for debugging and driver `--dump-core`.
+/// Depth-limited: beyond the cap it prints `…` rather than recursing.
+pub fn pretty(e: &CoreExpr) -> String {
+    let mut out = String::new();
+    pretty_rec(e, 0, &mut out);
+    out
+}
+
+const PRETTY_MAX_DEPTH: usize = 64;
+
+fn pretty_rec(e: &CoreExpr, depth: usize, out: &mut String) {
+    use std::fmt::Write as _;
+    if depth > PRETTY_MAX_DEPTH {
+        out.push('…');
+        return;
+    }
+    match e {
+        CoreExpr::Var(n) => out.push_str(n),
+        CoreExpr::Lit(l) => {
+            let _ = write!(out, "{l}");
+        }
+        CoreExpr::App(f, x) => {
+            out.push('(');
+            pretty_rec(f, depth + 1, out);
+            out.push(' ');
+            pretty_rec(x, depth + 1, out);
+            out.push(')');
+        }
+        CoreExpr::Lam(p, b) => {
+            let _ = write!(out, "(\\{p} -> ");
+            pretty_rec(b, depth + 1, out);
+            out.push(')');
+        }
+        CoreExpr::LetRec(bs, b) => {
+            out.push_str("(letrec {");
+            for (i, (n, v)) in bs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("; ");
+                }
+                let _ = write!(out, "{n} = ");
+                pretty_rec(v, depth + 1, out);
+            }
+            out.push_str("} in ");
+            pretty_rec(b, depth + 1, out);
+            out.push(')');
+        }
+        CoreExpr::If(c, t, f) => {
+            out.push_str("(if ");
+            pretty_rec(c, depth + 1, out);
+            out.push_str(" then ");
+            pretty_rec(t, depth + 1, out);
+            out.push_str(" else ");
+            pretty_rec(f, depth + 1, out);
+            out.push(')');
+        }
+        CoreExpr::Tuple(xs) => {
+            out.push('(');
+            for (i, x) in xs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                pretty_rec(x, depth + 1, out);
+            }
+            out.push(')');
+        }
+        CoreExpr::Proj(i, b) => {
+            let _ = write!(out, "#{i} ");
+            pretty_rec(b, depth + 1, out);
+        }
+        CoreExpr::Placeholder(id) => {
+            let _ = write!(out, "<ph{id}>");
+        }
+        CoreExpr::Fail(msg) => {
+            let _ = write!(out, "<fail: {msg}>");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apps_and_lams_builders() {
+        let e = CoreExpr::lams(
+            vec!["x".to_string(), "y".to_string()],
+            CoreExpr::apps(
+                CoreExpr::Var("f".into()),
+                vec![CoreExpr::Var("x".into()), CoreExpr::Var("y".into())],
+            ),
+        );
+        assert_eq!(pretty(&e), "(\\x -> (\\y -> ((f x) y)))");
+    }
+
+    #[test]
+    fn placeholder_detection() {
+        let e = CoreExpr::app(CoreExpr::Var("f".into()), CoreExpr::Placeholder(3));
+        assert_eq!(e.first_placeholder(), Some(3));
+        let prog = CoreProgram {
+            binds: vec![
+                ("a".into(), e),
+                ("b".into(), CoreExpr::Lit(Literal::Int(1))),
+            ],
+            main: None,
+        };
+        assert_eq!(prog.verify_converted(), vec!["a"]);
+    }
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = PlaceholderTable::new();
+        let id = t.alloc(PlaceholderKind::RecCall {
+            name: "go".into(),
+            span: Span::DUMMY,
+        });
+        assert!(matches!(
+            t.get(id),
+            Some(PlaceholderKind::RecCall { name, .. }) if name == "go"
+        ));
+    }
+}

@@ -1,0 +1,328 @@
+//! `tc-driver`: the end-to-end pipeline.
+//!
+//! One call to [`run_source`] takes Mini-Haskell source text through
+//! every stage of the dictionary-passing compilation scheme of
+//! Peterson & Jones:
+//!
+//! 1. **lex** / **parse** ([`tc_syntax`]) — error-recovering; junk
+//!    input yields diagnostics plus a partial AST, never a panic;
+//! 2. **class environment** ([`tc_classes`]) — class and instance
+//!    declarations are checked (duplicate methods, overlapping
+//!    instances, superclass cycles) and method slots laid out;
+//! 3. **elaboration** ([`tc_core`]) — Hindley-Milner inference with
+//!    class contexts, inserting dictionary placeholders, then the
+//!    conversion pass that spells each placeholder out as a parameter
+//!    reference, superclass projection, or instance application;
+//! 4. **evaluation** ([`tc_eval`]) — the lazy core interpreter runs
+//!    `main` under an explicit [`Budget`] (fuel, nesting depth,
+//!    allocation cap), so even adversarial programs terminate with a
+//!    structured [`EvalError`].
+//!
+//! A prelude (classes `Eq`, `Ord`, `Num`; instances for `Int`, `Bool`
+//! and `List`; `member` and the usual list functions) is spliced in
+//! front of the user program by default. The driver concatenates the
+//! prelude *source* with the user source and compiles the combined
+//! text, so every diagnostic span points into one coherent buffer —
+//! [`Check::full_source`] — and [`Check::render_diagnostics`] shows
+//! correct line/column information for both halves.
+//!
+//! Every stage accumulates into one [`Diagnostics`] collection; no
+//! stage aborts the pipeline, so a single call reports parse errors,
+//! type errors, and unresolved constraints together.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![cfg_attr(not(test), deny(clippy::panic))]
+
+use tc_classes::{build_class_env, ReduceBudget};
+use tc_core::{elaborate, Elaboration};
+use tc_eval::{Budget, EvalError};
+use tc_syntax::{Diagnostics, ParseOptions};
+use tc_types::VarGen;
+
+/// The prelude source spliced in front of user programs.
+pub const PRELUDE: &str = include_str!("prelude.mh");
+
+/// Pipeline configuration: which prelude to use and how much of each
+/// resource the stages may spend.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Splice the standard prelude in front of the user program.
+    pub use_prelude: bool,
+    /// Parser robustness limits (expression depth, error cap, ...).
+    pub parse: ParseOptions,
+    /// Instance-resolution / context-reduction budget.
+    pub reduce: ReduceBudget,
+    /// Evaluator budget (fuel, nesting depth, allocation cap).
+    pub budget: Budget,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            use_prelude: true,
+            parse: ParseOptions::default(),
+            reduce: ReduceBudget::default(),
+            budget: Budget::default(),
+        }
+    }
+}
+
+impl Options {
+    /// Options without the prelude — the program is compiled alone.
+    pub fn bare() -> Self {
+        Options {
+            use_prelude: false,
+            ..Options::default()
+        }
+    }
+
+    /// Replace the evaluator budget.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+}
+
+/// The result of compiling (but not running) a program: the combined
+/// source, the elaborated core, and every diagnostic from every stage.
+pub struct Check {
+    /// Exactly the text that was compiled (prelude + user program when
+    /// the prelude is enabled). All diagnostic spans index into this.
+    pub full_source: String,
+    /// Byte offset where the user program starts in `full_source`.
+    pub user_offset: usize,
+    /// Elaborated core program and the inferred type schemes.
+    pub elab: Elaboration,
+    /// Accumulated diagnostics from lexing through dictionary
+    /// conversion.
+    pub diags: Diagnostics,
+}
+
+impl Check {
+    /// Did the program compile without errors? (Warnings are fine.)
+    pub fn ok(&self) -> bool {
+        !self.diags.has_errors()
+    }
+
+    /// Render every diagnostic against the compiled source.
+    pub fn render_diagnostics(&self) -> String {
+        self.diags.render_all(&self.full_source)
+    }
+
+    /// The inferred type scheme of a top-level binding, rendered.
+    pub fn scheme(&self, name: &str) -> Option<String> {
+        self.elab.schemes.get(name).map(|s| s.to_string())
+    }
+
+    /// Pretty-print the whole converted core program (for debugging
+    /// and for tests that inspect the translation).
+    pub fn pretty_core(&self) -> String {
+        let mut out = String::new();
+        for (name, body) in &self.elab.core.binds {
+            out.push_str(name);
+            out.push_str(" = ");
+            out.push_str(&tc_coreir::pretty(body));
+            out.push_str(";\n");
+        }
+        out
+    }
+}
+
+/// What happened when the program was run.
+#[derive(Debug)]
+pub enum Outcome {
+    /// `main` evaluated to a value, rendered as text.
+    Value(String),
+    /// The program did not compile; see [`Check::diags`].
+    CompileErrors,
+    /// The program compiled but defines no `main`.
+    NoMain,
+    /// `main` evaluation failed with a structured error (including
+    /// budget exhaustion — never a panic, never a hang).
+    Eval(EvalError),
+}
+
+/// A full pipeline run: the compilation record plus the outcome.
+pub struct RunResult {
+    pub check: Check,
+    pub outcome: Outcome,
+}
+
+/// Compile source text through elaboration and dictionary conversion.
+/// Never panics; all failures are reported in [`Check::diags`].
+pub fn check_source(src: &str, opts: &Options) -> Check {
+    let (full_source, user_offset) = if opts.use_prelude {
+        (format!("{PRELUDE}\n{src}"), PRELUDE.len() + 1)
+    } else {
+        (src.to_string(), 0)
+    };
+    let (toks, mut diags) = tc_syntax::lex(&full_source);
+    let (prog, pd) = tc_syntax::parse_program(&toks, opts.parse.clone());
+    diags.extend(pd);
+    let mut gen = VarGen::new();
+    let (cenv, cd) = build_class_env(&prog, &mut gen);
+    diags.extend(cd);
+    let (elab, ed) = elaborate(&prog, &cenv, &mut gen, opts.reduce);
+    diags.extend(ed);
+    Check {
+        full_source,
+        user_offset,
+        elab,
+        diags,
+    }
+}
+
+/// Compile and, if the program is error-free and has a `main`, run it
+/// under the evaluator budget.
+pub fn run_source(src: &str, opts: &Options) -> RunResult {
+    let check = check_source(src, opts);
+    let outcome = if !check.ok() {
+        Outcome::CompileErrors
+    } else {
+        match check.elab.core.main.clone() {
+            None => Outcome::NoMain,
+            Some(entry) => match tc_eval::run_entry(&check.elab.core, &entry, opts.budget) {
+                Ok(v) => Outcome::Value(v),
+                Err(e) => Outcome::Eval(e),
+            },
+        }
+    };
+    RunResult { check, outcome }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> RunResult {
+        run_source(src, &Options::default())
+    }
+
+    fn value(src: &str) -> String {
+        let r = run(src);
+        match r.outcome {
+            Outcome::Value(v) => v,
+            other => panic!(
+                "expected a value, got {other:?}\n{}",
+                r.check.render_diagnostics()
+            ),
+        }
+    }
+
+    #[test]
+    fn prelude_is_clean() {
+        let c = check_source("", &Options::default());
+        assert!(c.ok(), "{}", c.render_diagnostics());
+        assert!(c.elab.core.verify_converted().is_empty());
+    }
+
+    #[test]
+    fn member_from_the_paper() {
+        let v = value("main = member 3 (enumFromTo 1 5);");
+        assert_eq!(v, "True");
+        let c = check_source("", &Options::default());
+        assert_eq!(
+            c.scheme("member").as_deref(),
+            Some("Eq a => a -> List a -> Bool")
+        );
+    }
+
+    #[test]
+    fn num_methods_dispatch_through_dictionaries() {
+        assert_eq!(value("main = add (mul 6 7) (neg 2);"), "40");
+    }
+
+    #[test]
+    fn equality_on_lists_uses_instance_context() {
+        assert_eq!(
+            value("main = eq (cons 1 (cons 2 nil)) (enumFromTo 1 2);"),
+            "True"
+        );
+        assert_eq!(value("main = neq nil (cons False nil);"), "True");
+    }
+
+    #[test]
+    fn list_pipeline_renders() {
+        assert_eq!(
+            value("main = map (\\x -> mul x x) (enumFromTo 1 4);"),
+            "[1, 4, 9, 16]"
+        );
+    }
+
+    #[test]
+    fn laziness_take_from_infinite_list() {
+        let v = value("from n = cons n (from (add n 1));\nmain = take 3 (from 10);");
+        assert_eq!(v, "[10, 11, 12]");
+    }
+
+    #[test]
+    fn compile_errors_stop_evaluation() {
+        let r = run("main = eq 1 True;");
+        assert!(matches!(r.outcome, Outcome::CompileErrors));
+        assert!(r.check.diags.has_errors());
+        // Rendering must point into the combined source without panicking.
+        let rendered = r.check.render_diagnostics();
+        assert!(!rendered.is_empty());
+    }
+
+    #[test]
+    fn missing_main_reported() {
+        let r = run("x = 1;");
+        assert!(matches!(r.outcome, Outcome::NoMain));
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_structured() {
+        // Rendering an infinite list forces cell after cell at shallow
+        // depth, so the fuel budget is what trips.
+        let opts = Options::default().with_budget(Budget::small());
+        let r = run_source("from n = cons n (from (add n 1));\nmain = from 0;", &opts);
+        assert!(
+            matches!(r.outcome, Outcome::Eval(EvalError::FuelExhausted)),
+            "{:?}",
+            r.outcome
+        );
+    }
+
+    #[test]
+    fn nonterminating_loop_is_budgeted() {
+        // Deep non-tail recursion trips whichever budget fills first —
+        // either way the outcome is structured, not a hang.
+        let opts = Options::default().with_budget(Budget::small());
+        let r = run_source("loop x = loop x;\nmain = loop 1;", &opts);
+        assert!(
+            matches!(
+                r.outcome,
+                Outcome::Eval(EvalError::FuelExhausted | EvalError::DepthExceeded)
+            ),
+            "{:?}",
+            r.outcome
+        );
+    }
+
+    #[test]
+    fn user_code_diagnostics_point_after_prelude() {
+        let r = run("main = undefinedName;");
+        assert!(matches!(r.outcome, Outcome::CompileErrors));
+        assert!(r
+            .check
+            .diags
+            .iter()
+            .any(|d| d.code == "E0405" && (d.span.start as usize) >= r.check.user_offset));
+    }
+
+    #[test]
+    fn bare_options_skip_prelude() {
+        let c = check_source("main = eq 1 1;", &Options::bare());
+        // No prelude => no Eq class => unbound `eq`.
+        assert!(c.diags.iter().any(|d| d.code == "E0405"));
+    }
+
+    #[test]
+    fn core_dump_mentions_dictionaries() {
+        let c = check_source("same x y = eq x y;", &Options::default());
+        assert!(c.ok(), "{}", c.render_diagnostics());
+        let core = c.pretty_core();
+        assert!(core.contains("$dict"), "{core}");
+    }
+}

@@ -1,0 +1,835 @@
+//! `tc-eval`: a lazy (call-by-need) evaluator for the
+//! dictionary-passing core, sandboxed behind an explicit [`Budget`].
+//!
+//! Dictionaries are ordinary tuples at runtime, so nothing here knows
+//! about classes: by the time code reaches the evaluator, overloading
+//! has been compiled away exactly as in Peterson & Jones.
+//!
+//! Robustness model — evaluation of *any* core program terminates with
+//! a `Result`, never a panic, never an unbounded hang:
+//!
+//! * **fuel**: every evaluation step costs one unit; exhaustion returns
+//!   [`EvalError::FuelExhausted`] deterministically (same program, same
+//!   budget, same step of failure);
+//! * **depth**: native recursion is capped ([`Budget::max_depth`],
+//!   clamped to an internal ceiling) so deep applications return
+//!   [`EvalError::DepthExceeded`] instead of overflowing the stack;
+//! * **allocations**: thunks, closures, environment frames and cons
+//!   cells are counted and capped ([`EvalError::AllocationLimit`]);
+//! * **blackholing**: a thunk found under evaluation by its own
+//!   evaluation is a dependency cycle, reported as
+//!   [`EvalError::BlackHole`] (e.g. `let x = x in x`);
+//! * type-shaped runtime errors (`if` on a non-Bool, projecting a
+//!   non-tuple, ...) are structured errors — they can only arise from
+//!   programs that already carry typecheck diagnostics, but the
+//!   evaluator still refuses gracefully rather than trusting upstream.
+//!
+//! All evaluator-created thunks live in an arena owned by the
+//! [`Evaluator`]; dropping it severs every thunk's children first, so
+//! dismantling a million-cell lazy list (or a cyclic `letrec`
+//! environment) never recurses deeply and never leaks.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![deny(clippy::panic)]
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+use tc_coreir::{CoreExpr, CoreProgram, Literal};
+
+/// Resource limits for one evaluation session.
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    /// Maximum evaluation steps.
+    pub fuel: u64,
+    /// Maximum native recursion depth (clamped to [`DEPTH_CEILING`]).
+    pub max_depth: usize,
+    /// Maximum number of heap objects (thunks, frames, closures).
+    pub max_allocs: u64,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            fuel: 1_000_000,
+            max_depth: 2_000,
+            max_allocs: 1_000_000,
+        }
+    }
+}
+
+impl Budget {
+    /// A tiny budget, handy for tests and for probing adversarial
+    /// programs quickly.
+    pub fn small() -> Self {
+        Budget {
+            fuel: 10_000,
+            max_depth: 200,
+            max_allocs: 10_000,
+        }
+    }
+}
+
+/// Hard ceiling on `max_depth`: each level of guest recursion costs a
+/// bounded number of native frames, and this keeps worst-case native
+/// stack usage a few megabytes regardless of what the caller asks for.
+pub const DEPTH_CEILING: usize = 10_000;
+
+/// Structured evaluation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    FuelExhausted,
+    DepthExceeded,
+    AllocationLimit,
+    /// A value's evaluation demanded itself (`let x = x in x`).
+    BlackHole,
+    UnboundVar(String),
+    NotAFunction,
+    ConditionNotBool,
+    NotAnInt,
+    NotABool,
+    NotAList,
+    BadProjection {
+        slot: usize,
+    },
+    EmptyList(&'static str),
+    DivideByZero,
+    IntOverflow,
+    /// A `CoreExpr::Fail` node (elaboration hole) or the `error`
+    /// builtin was forced.
+    Failure(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::FuelExhausted => f.write_str("evaluation fuel exhausted"),
+            EvalError::DepthExceeded => f.write_str("evaluation depth limit exceeded"),
+            EvalError::AllocationLimit => f.write_str("evaluation allocation limit exceeded"),
+            EvalError::BlackHole => {
+                f.write_str("<<loop>>: value depends on itself while being computed")
+            }
+            EvalError::UnboundVar(n) => write!(f, "unbound variable `{n}` at runtime"),
+            EvalError::NotAFunction => f.write_str("applied a non-function value"),
+            EvalError::ConditionNotBool => f.write_str("`if` condition was not a Bool"),
+            EvalError::NotAnInt => f.write_str("expected an Int"),
+            EvalError::NotABool => f.write_str("expected a Bool"),
+            EvalError::NotAList => f.write_str("expected a list"),
+            EvalError::BadProjection { slot } => {
+                write!(f, "dictionary projection #{slot} out of range")
+            }
+            EvalError::EmptyList(op) => write!(f, "`{op}` of empty list"),
+            EvalError::DivideByZero => f.write_str("division by zero"),
+            EvalError::IntOverflow => f.write_str("integer overflow"),
+            EvalError::Failure(msg) => write!(f, "runtime failure: {msg}"),
+        }
+    }
+}
+
+/// Runtime expression: the core IR with shared (`Rc`) subtrees, so
+/// closures capture bodies without cloning them.
+pub enum RExpr {
+    Var(String),
+    Lit(Literal),
+    App(Rc<RExpr>, Rc<RExpr>),
+    Lam(String, Rc<RExpr>),
+    LetRec(Vec<(String, Rc<RExpr>)>, Rc<RExpr>),
+    If(Rc<RExpr>, Rc<RExpr>, Rc<RExpr>),
+    Tuple(Vec<Rc<RExpr>>),
+    Proj(usize, Rc<RExpr>),
+    Fail(String),
+}
+
+/// One-time translation; recursion depth is bounded by the elaborator's
+/// output shape (parser depth budget plus constant wrappers).
+fn lower(e: &CoreExpr) -> Rc<RExpr> {
+    Rc::new(match e {
+        CoreExpr::Var(n) => RExpr::Var(n.clone()),
+        CoreExpr::Lit(l) => RExpr::Lit(*l),
+        CoreExpr::App(f, x) => RExpr::App(lower(f), lower(x)),
+        CoreExpr::Lam(p, b) => RExpr::Lam(p.clone(), lower(b)),
+        CoreExpr::LetRec(bs, b) => RExpr::LetRec(
+            bs.iter().map(|(n, v)| (n.clone(), lower(v))).collect(),
+            lower(b),
+        ),
+        CoreExpr::If(c, t, f) => RExpr::If(lower(c), lower(t), lower(f)),
+        CoreExpr::Tuple(xs) => RExpr::Tuple(xs.iter().map(lower).collect()),
+        CoreExpr::Proj(i, b) => RExpr::Proj(*i, lower(b)),
+        // A placeholder surviving to runtime is an elaborator invariant
+        // violation; degrade to a structured failure.
+        CoreExpr::Placeholder(id) => RExpr::Fail(format!("unresolved placeholder #{id}")),
+        CoreExpr::Fail(m) => RExpr::Fail(m.clone()),
+    })
+}
+
+/// Shared, mutable reference to a thunk.
+pub type ThunkRef = Rc<RefCell<Thunk>>;
+
+/// A call-by-need cell: unevaluated suspension, in-progress marker
+/// (blackhole), or final value.
+pub enum Thunk {
+    Unevaluated(Rc<RExpr>, Env),
+    /// Under evaluation (blackhole), and also the tombstone state used
+    /// when the evaluator's arena severs object graphs on drop.
+    Evaluating,
+    Evaluated(Value),
+}
+
+pub struct Frame {
+    name: String,
+    thunk: ThunkRef,
+    next: Env,
+}
+
+pub type Env = Option<Rc<Frame>>;
+
+fn env_lookup(env: &Env, name: &str) -> Option<ThunkRef> {
+    let mut cur = env;
+    while let Some(frame) = cur {
+        if frame.name == name {
+            return Some(frame.thunk.clone());
+        }
+        cur = &frame.next;
+    }
+    None
+}
+
+/// Weak-head-normal-form values.
+#[derive(Clone)]
+pub enum Value {
+    Int(i64),
+    Bool(bool),
+    Closure {
+        param: String,
+        body: Rc<RExpr>,
+        env: Env,
+    },
+    /// Partially applied builtin.
+    Prim {
+        name: &'static str,
+        applied: Vec<ThunkRef>,
+    },
+    /// A dictionary.
+    Tuple(Vec<ThunkRef>),
+    Nil,
+    Cons(ThunkRef, ThunkRef),
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(n) => write!(f, "Int({n})"),
+            Value::Bool(b) => write!(f, "Bool({b})"),
+            Value::Closure { param, .. } => write!(f, "Closure(\\{param} -> ...)"),
+            Value::Prim { name, applied } => write!(f, "Prim({name}/{})", applied.len()),
+            Value::Tuple(xs) => write!(f, "Tuple(#{})", xs.len()),
+            Value::Nil => f.write_str("Nil"),
+            Value::Cons(_, _) => f.write_str("Cons(..)"),
+        }
+    }
+}
+
+/// Builtin dispatch: interned name and arity. Arity-0 builtins are
+/// values (or immediate failures).
+fn prim(name: &str) -> Option<(&'static str, usize)> {
+    Some(match name {
+        "primAddInt" => ("primAddInt", 2),
+        "primSubInt" => ("primSubInt", 2),
+        "primMulInt" => ("primMulInt", 2),
+        "primDivInt" => ("primDivInt", 2),
+        "primModInt" => ("primModInt", 2),
+        "primNegInt" => ("primNegInt", 1),
+        "primEqInt" => ("primEqInt", 2),
+        "primLtInt" => ("primLtInt", 2),
+        "primLeInt" => ("primLeInt", 2),
+        "primEqBool" => ("primEqBool", 2),
+        "cons" => ("cons", 2),
+        "null" => ("null", 1),
+        "head" => ("head", 1),
+        "tail" => ("tail", 1),
+        "nil" => ("nil", 0),
+        "error" => ("error", 0),
+        _ => return None,
+    })
+}
+
+/// The evaluation session. Owns the budget state and the thunk arena.
+pub struct Evaluator {
+    globals: HashMap<String, Rc<RExpr>>,
+    global_cache: HashMap<String, ThunkRef>,
+    budget: Budget,
+    fuel_left: u64,
+    allocs_left: u64,
+    max_depth: usize,
+    /// Every thunk ever created. On drop, each is overwritten with a
+    /// childless tombstone, severing all links (including `letrec`
+    /// cycles) so deep structures are dismantled iteratively.
+    arena: Vec<ThunkRef>,
+}
+
+impl Drop for Evaluator {
+    fn drop(&mut self) {
+        for t in &self.arena {
+            if let Ok(mut b) = t.try_borrow_mut() {
+                *b = Thunk::Evaluating;
+            }
+        }
+    }
+}
+
+impl Evaluator {
+    pub fn new(prog: &CoreProgram, budget: Budget) -> Self {
+        let globals = prog
+            .binds
+            .iter()
+            .map(|(n, e)| (n.clone(), lower(e)))
+            .collect();
+        Evaluator {
+            globals,
+            global_cache: HashMap::new(),
+            budget,
+            fuel_left: budget.fuel,
+            allocs_left: budget.max_allocs,
+            max_depth: budget.max_depth.min(DEPTH_CEILING),
+            arena: Vec::new(),
+        }
+    }
+
+    /// Fuel spent so far (for reporting).
+    pub fn fuel_used(&self) -> u64 {
+        self.budget.fuel - self.fuel_left
+    }
+
+    fn tick(&mut self) -> Result<(), EvalError> {
+        if self.fuel_left == 0 {
+            return Err(EvalError::FuelExhausted);
+        }
+        self.fuel_left -= 1;
+        Ok(())
+    }
+
+    fn check_depth(&self, depth: usize) -> Result<(), EvalError> {
+        if depth > self.max_depth {
+            return Err(EvalError::DepthExceeded);
+        }
+        Ok(())
+    }
+
+    fn alloc(&mut self) -> Result<(), EvalError> {
+        if self.allocs_left == 0 {
+            return Err(EvalError::AllocationLimit);
+        }
+        self.allocs_left -= 1;
+        Ok(())
+    }
+
+    fn thunk(&mut self, e: Rc<RExpr>, env: Env) -> Result<ThunkRef, EvalError> {
+        self.alloc()?;
+        let t = Rc::new(RefCell::new(Thunk::Unevaluated(e, env)));
+        self.arena.push(t.clone());
+        Ok(t)
+    }
+
+    fn frame(&mut self, name: String, thunk: ThunkRef, next: Env) -> Result<Env, EvalError> {
+        self.alloc()?;
+        Ok(Some(Rc::new(Frame { name, thunk, next })))
+    }
+
+    fn global_thunk(&mut self, name: &str) -> Option<ThunkRef> {
+        if let Some(t) = self.global_cache.get(name) {
+            return Some(t.clone());
+        }
+        let e = self.globals.get(name)?.clone();
+        let t = self.thunk(e, None).ok()?;
+        self.global_cache.insert(name.to_string(), t.clone());
+        Some(t)
+    }
+
+    /// Evaluate a top-level binding to weak head normal form.
+    pub fn eval_entry(&mut self, name: &str) -> Result<Value, EvalError> {
+        match self.global_thunk(name) {
+            Some(t) => self.force(&t, 0),
+            None => Err(EvalError::UnboundVar(name.to_string())),
+        }
+    }
+
+    fn force(&mut self, t: &ThunkRef, depth: usize) -> Result<Value, EvalError> {
+        self.tick()?;
+        self.check_depth(depth)?;
+        let state = std::mem::replace(&mut *t.borrow_mut(), Thunk::Evaluating);
+        match state {
+            Thunk::Evaluated(v) => {
+                *t.borrow_mut() = Thunk::Evaluated(v.clone());
+                Ok(v)
+            }
+            Thunk::Evaluating => Err(EvalError::BlackHole),
+            Thunk::Unevaluated(e, env) => {
+                let v = self.eval(&e, &env, depth + 1)?;
+                *t.borrow_mut() = Thunk::Evaluated(v.clone());
+                Ok(v)
+            }
+        }
+    }
+
+    fn eval(&mut self, e: &RExpr, env: &Env, depth: usize) -> Result<Value, EvalError> {
+        self.tick()?;
+        self.check_depth(depth)?;
+        match e {
+            RExpr::Var(n) => {
+                if let Some(t) = env_lookup(env, n) {
+                    return self.force(&t, depth + 1);
+                }
+                if let Some(t) = self.global_thunk(n) {
+                    return self.force(&t, depth + 1);
+                }
+                match prim(n) {
+                    Some(("nil", _)) => Ok(Value::Nil),
+                    Some(("error", _)) => Err(EvalError::Failure("`error` evaluated".into())),
+                    Some((name, _)) => Ok(Value::Prim {
+                        name,
+                        applied: Vec::new(),
+                    }),
+                    None => Err(EvalError::UnboundVar(n.clone())),
+                }
+            }
+            RExpr::Lit(Literal::Int(n)) => Ok(Value::Int(*n)),
+            RExpr::Lit(Literal::Bool(b)) => Ok(Value::Bool(*b)),
+            RExpr::App(f, x) => {
+                let fv = self.eval(f, env, depth + 1)?;
+                let arg = self.thunk(x.clone(), env.clone())?;
+                self.apply(fv, arg, depth)
+            }
+            RExpr::Lam(p, b) => {
+                self.alloc()?;
+                Ok(Value::Closure {
+                    param: p.clone(),
+                    body: b.clone(),
+                    env: env.clone(),
+                })
+            }
+            RExpr::LetRec(binds, body) => {
+                // Tie the knot: thunks are created with an empty
+                // environment, then patched to see the full one.
+                let mut thunks = Vec::with_capacity(binds.len());
+                for (_, rhs) in binds {
+                    thunks.push(self.thunk(rhs.clone(), None)?);
+                }
+                let mut new_env = env.clone();
+                for ((name, _), t) in binds.iter().zip(&thunks) {
+                    new_env = self.frame(name.clone(), t.clone(), new_env)?;
+                }
+                for t in &thunks {
+                    if let Thunk::Unevaluated(_, slot) = &mut *t.borrow_mut() {
+                        *slot = new_env.clone();
+                    }
+                }
+                self.eval(body, &new_env, depth + 1)
+            }
+            RExpr::If(c, t, f) => match self.eval(c, env, depth + 1)? {
+                Value::Bool(true) => self.eval(t, env, depth + 1),
+                Value::Bool(false) => self.eval(f, env, depth + 1),
+                _ => Err(EvalError::ConditionNotBool),
+            },
+            RExpr::Tuple(xs) => {
+                let mut ts = Vec::with_capacity(xs.len());
+                for x in xs {
+                    ts.push(self.thunk(x.clone(), env.clone())?);
+                }
+                Ok(Value::Tuple(ts))
+            }
+            RExpr::Proj(i, b) => match self.eval(b, env, depth + 1)? {
+                Value::Tuple(xs) => match xs.get(*i) {
+                    Some(t) => {
+                        let t = t.clone();
+                        self.force(&t, depth + 1)
+                    }
+                    None => Err(EvalError::BadProjection { slot: *i }),
+                },
+                _ => Err(EvalError::BadProjection { slot: *i }),
+            },
+            RExpr::Fail(msg) => Err(EvalError::Failure(msg.clone())),
+        }
+    }
+
+    fn apply(&mut self, f: Value, arg: ThunkRef, depth: usize) -> Result<Value, EvalError> {
+        self.tick()?;
+        match f {
+            Value::Closure { param, body, env } => {
+                let new_env = self.frame(param, arg, env)?;
+                self.eval(&body, &new_env, depth + 1)
+            }
+            Value::Prim { name, mut applied } => {
+                applied.push(arg);
+                let arity = prim(name).map(|(_, a)| a).unwrap_or(0);
+                if applied.len() >= arity {
+                    self.run_prim(name, applied, depth)
+                } else {
+                    Ok(Value::Prim { name, applied })
+                }
+            }
+            _ => Err(EvalError::NotAFunction),
+        }
+    }
+
+    fn int_arg(&mut self, t: &ThunkRef, depth: usize) -> Result<i64, EvalError> {
+        match self.force(t, depth + 1)? {
+            Value::Int(n) => Ok(n),
+            _ => Err(EvalError::NotAnInt),
+        }
+    }
+
+    fn bool_arg(&mut self, t: &ThunkRef, depth: usize) -> Result<bool, EvalError> {
+        match self.force(t, depth + 1)? {
+            Value::Bool(b) => Ok(b),
+            _ => Err(EvalError::NotABool),
+        }
+    }
+
+    fn run_prim(
+        &mut self,
+        name: &'static str,
+        args: Vec<ThunkRef>,
+        depth: usize,
+    ) -> Result<Value, EvalError> {
+        let arith = |r: Option<i64>| r.map(Value::Int).ok_or(EvalError::IntOverflow);
+        match (name, args.as_slice()) {
+            ("primAddInt", [a, b]) => {
+                arith(self.int_arg(a, depth)?.checked_add(self.int_arg(b, depth)?))
+            }
+            ("primSubInt", [a, b]) => {
+                arith(self.int_arg(a, depth)?.checked_sub(self.int_arg(b, depth)?))
+            }
+            ("primMulInt", [a, b]) => {
+                arith(self.int_arg(a, depth)?.checked_mul(self.int_arg(b, depth)?))
+            }
+            ("primDivInt", [a, b]) => {
+                let (x, y) = (self.int_arg(a, depth)?, self.int_arg(b, depth)?);
+                if y == 0 {
+                    Err(EvalError::DivideByZero)
+                } else {
+                    arith(x.checked_div(y))
+                }
+            }
+            ("primModInt", [a, b]) => {
+                let (x, y) = (self.int_arg(a, depth)?, self.int_arg(b, depth)?);
+                if y == 0 {
+                    Err(EvalError::DivideByZero)
+                } else {
+                    arith(x.checked_rem(y))
+                }
+            }
+            ("primNegInt", [a]) => arith(self.int_arg(a, depth)?.checked_neg()),
+            ("primEqInt", [a, b]) => Ok(Value::Bool(
+                self.int_arg(a, depth)? == self.int_arg(b, depth)?,
+            )),
+            ("primLtInt", [a, b]) => Ok(Value::Bool(
+                self.int_arg(a, depth)? < self.int_arg(b, depth)?,
+            )),
+            ("primLeInt", [a, b]) => Ok(Value::Bool(
+                self.int_arg(a, depth)? <= self.int_arg(b, depth)?,
+            )),
+            ("primEqBool", [a, b]) => Ok(Value::Bool(
+                self.bool_arg(a, depth)? == self.bool_arg(b, depth)?,
+            )),
+            // cons is lazy in both arguments.
+            ("cons", [h, t]) => Ok(Value::Cons(h.clone(), t.clone())),
+            ("null", [l]) => match self.force(l, depth + 1)? {
+                Value::Nil => Ok(Value::Bool(true)),
+                Value::Cons(_, _) => Ok(Value::Bool(false)),
+                _ => Err(EvalError::NotAList),
+            },
+            ("head", [l]) => match self.force(l, depth + 1)? {
+                Value::Cons(h, _) => self.force(&h, depth + 1),
+                Value::Nil => Err(EvalError::EmptyList("head")),
+                _ => Err(EvalError::NotAList),
+            },
+            ("tail", [l]) => match self.force(l, depth + 1)? {
+                Value::Cons(_, t) => self.force(&t, depth + 1),
+                Value::Nil => Err(EvalError::EmptyList("tail")),
+                _ => Err(EvalError::NotAList),
+            },
+            _ => Err(EvalError::NotAFunction),
+        }
+    }
+
+    /// Deep-print a value, forcing as much structure as the remaining
+    /// fuel allows. Lists render as `[1, 2, 3]`; functions and
+    /// dictionaries render opaquely.
+    pub fn show(&mut self, v: &Value) -> Result<String, EvalError> {
+        let mut out = String::new();
+        self.show_rec(v, &mut out, 0)?;
+        Ok(out)
+    }
+
+    fn show_rec(&mut self, v: &Value, out: &mut String, depth: usize) -> Result<(), EvalError> {
+        use std::fmt::Write as _;
+        self.tick()?;
+        self.check_depth(depth)?;
+        match v {
+            Value::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::Bool(true) => out.push_str("True"),
+            Value::Bool(false) => out.push_str("False"),
+            Value::Closure { .. } | Value::Prim { .. } => out.push_str("<function>"),
+            Value::Tuple(_) => out.push_str("<dictionary>"),
+            Value::Nil => out.push_str("[]"),
+            Value::Cons(h0, t0) => {
+                out.push('[');
+                let mut head = h0.clone();
+                let mut tail = t0.clone();
+                loop {
+                    self.tick()?;
+                    let hv = self.force(&head, depth + 1)?;
+                    self.show_rec(&hv, out, depth + 1)?;
+                    match self.force(&tail, depth + 1)? {
+                        Value::Nil => break,
+                        Value::Cons(h, t) => {
+                            out.push_str(", ");
+                            head = h;
+                            tail = t;
+                        }
+                        _ => return Err(EvalError::NotAList),
+                    }
+                }
+                out.push(']');
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Evaluate `entry` in `prog` and deep-print the result.
+pub fn run_entry(prog: &CoreProgram, entry: &str, budget: Budget) -> Result<String, EvalError> {
+    let mut ev = Evaluator::new(prog, budget);
+    let v = ev.eval_entry(entry)?;
+    ev.show(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_coreir::CoreExpr as C;
+
+    fn var(n: &str) -> C {
+        C::Var(n.into())
+    }
+    fn int(n: i64) -> C {
+        C::Lit(Literal::Int(n))
+    }
+    fn prog(binds: Vec<(&str, C)>) -> CoreProgram {
+        CoreProgram {
+            binds: binds.into_iter().map(|(n, e)| (n.into(), e)).collect(),
+            main: Some("main".into()),
+        }
+    }
+
+    #[test]
+    fn arithmetic() {
+        let p = prog(vec![(
+            "main",
+            C::apps(var("primAddInt"), vec![int(40), int(2)]),
+        )]);
+        assert_eq!(run_entry(&p, "main", Budget::default()).unwrap(), "42");
+    }
+
+    #[test]
+    fn laziness_infinite_list() {
+        // ones = cons 1 ones; main = head (tail ones)
+        let p = prog(vec![
+            ("ones", C::apps(var("cons"), vec![int(1), var("ones")])),
+            (
+                "main",
+                C::app(var("head"), C::app(var("tail"), var("ones"))),
+            ),
+        ]);
+        assert_eq!(run_entry(&p, "main", Budget::small()).unwrap(), "1");
+    }
+
+    #[test]
+    fn showing_infinite_list_exhausts_fuel_not_time() {
+        let p = prog(vec![(
+            "main",
+            C::LetRec(
+                vec![(
+                    "ones".into(),
+                    C::apps(var("cons"), vec![int(1), var("ones")]),
+                )],
+                Box::new(var("ones")),
+            ),
+        )]);
+        let err = run_entry(&p, "main", Budget::small()).unwrap_err();
+        assert!(
+            matches!(err, EvalError::FuelExhausted | EvalError::AllocationLimit),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn self_dependency_is_blackhole() {
+        // main = let x = x in x
+        let p = prog(vec![(
+            "main",
+            C::LetRec(vec![("x".into(), var("x"))], Box::new(var("x"))),
+        )]);
+        assert_eq!(
+            run_entry(&p, "main", Budget::default()).unwrap_err(),
+            EvalError::BlackHole
+        );
+    }
+
+    #[test]
+    fn nonterminating_loop_exhausts_fuel_deterministically() {
+        // loop = \x -> x x; main = loop loop
+        let p = prog(vec![
+            (
+                "loop",
+                C::Lam("x".into(), Box::new(C::app(var("x"), var("x")))),
+            ),
+            ("main", C::app(var("loop"), var("loop"))),
+        ]);
+        let e1 = run_entry(&p, "main", Budget::small()).unwrap_err();
+        let e2 = run_entry(&p, "main", Budget::small()).unwrap_err();
+        assert_eq!(e1, e2);
+        assert!(
+            matches!(e1, EvalError::FuelExhausted | EvalError::DepthExceeded),
+            "{e1:?}"
+        );
+    }
+
+    #[test]
+    fn deep_guest_recursion_is_depth_error_not_stack_overflow() {
+        // sum n = if n == 0 then 0 else 1 + sum (n - 1): non-tail
+        // recursion whose forcing nests natively with guest depth.
+        let body = C::If(
+            Box::new(C::apps(var("primEqInt"), vec![var("n"), int(0)])),
+            Box::new(int(0)),
+            Box::new(C::apps(
+                var("primAddInt"),
+                vec![
+                    int(1),
+                    C::app(
+                        var("sum"),
+                        C::apps(var("primSubInt"), vec![var("n"), int(1)]),
+                    ),
+                ],
+            )),
+        );
+        let p = prog(vec![
+            ("sum", C::Lam("n".into(), Box::new(body))),
+            ("main", C::app(var("sum"), int(1_000_000))),
+        ]);
+        let err = run_entry(&p, "main", Budget::default()).unwrap_err();
+        assert!(
+            matches!(err, EvalError::DepthExceeded | EvalError::FuelExhausted),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn division_by_zero() {
+        let p = prog(vec![(
+            "main",
+            C::apps(var("primDivInt"), vec![int(1), int(0)]),
+        )]);
+        assert_eq!(
+            run_entry(&p, "main", Budget::default()).unwrap_err(),
+            EvalError::DivideByZero
+        );
+    }
+
+    #[test]
+    fn overflow_is_error() {
+        let p = prog(vec![(
+            "main",
+            C::apps(var("primAddInt"), vec![int(i64::MAX), int(1)]),
+        )]);
+        assert_eq!(
+            run_entry(&p, "main", Budget::default()).unwrap_err(),
+            EvalError::IntOverflow
+        );
+    }
+
+    #[test]
+    fn fail_node_is_structured_failure() {
+        let p = prog(vec![("main", C::Fail("hole".into()))]);
+        assert!(matches!(
+            run_entry(&p, "main", Budget::default()).unwrap_err(),
+            EvalError::Failure(_)
+        ));
+    }
+
+    #[test]
+    fn dictionary_projection() {
+        // dict = (1, 2); main = #1 dict
+        let p = prog(vec![
+            ("dict", C::Tuple(vec![int(1), int(2)])),
+            ("main", C::Proj(1, Box::new(var("dict")))),
+        ]);
+        assert_eq!(run_entry(&p, "main", Budget::default()).unwrap(), "2");
+    }
+
+    #[test]
+    fn list_rendering() {
+        let p = prog(vec![(
+            "main",
+            C::apps(
+                var("cons"),
+                vec![int(1), C::apps(var("cons"), vec![int(2), var("nil")])],
+            ),
+        )]);
+        assert_eq!(run_entry(&p, "main", Budget::default()).unwrap(), "[1, 2]");
+    }
+
+    #[test]
+    fn long_list_dropped_without_stack_overflow() {
+        // upto n = if n == 0 then nil else cons n (upto (n - 1)):
+        // builds a 100k-cell lazy list whose spine we force cell by
+        // cell (shallow each time), then drop the evaluator: the arena
+        // must dismantle the chain iteratively.
+        let body = C::If(
+            Box::new(C::apps(var("primEqInt"), vec![var("n"), int(0)])),
+            Box::new(var("nil")),
+            Box::new(C::apps(
+                var("cons"),
+                vec![
+                    var("n"),
+                    C::app(
+                        var("upto"),
+                        C::apps(var("primSubInt"), vec![var("n"), int(1)]),
+                    ),
+                ],
+            )),
+        );
+        let p = prog(vec![
+            ("upto", C::Lam("n".into(), Box::new(body))),
+            ("main", C::app(var("upto"), int(100_000))),
+        ]);
+        let budget = Budget {
+            fuel: 100_000_000,
+            max_depth: 2_000,
+            max_allocs: 10_000_000,
+        };
+        let mut ev = Evaluator::new(&p, budget);
+        let v = ev.eval_entry("main").unwrap();
+        // Walk the spine, forcing each cell at depth 0.
+        let mut cur = v;
+        let mut n = 0u32;
+        while let Value::Cons(_, t) = cur {
+            cur = ev.force(&t, 0).unwrap();
+            n += 1;
+        }
+        assert_eq!(n, 100_000);
+        drop(ev); // must not overflow the stack
+    }
+
+    #[test]
+    fn unbound_entry_is_error() {
+        let p = prog(vec![("main", int(1))]);
+        assert_eq!(
+            run_entry(&p, "nope", Budget::default()).unwrap_err(),
+            EvalError::UnboundVar("nope".into())
+        );
+    }
+}

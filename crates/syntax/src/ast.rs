@@ -1,0 +1,174 @@
+//! Abstract syntax for Mini-Haskell.
+//!
+//! The surface language is a small Haskell subset sufficient for the
+//! programs in Peterson & Jones (PLDI 1993): class declarations with
+//! superclasses, instance declarations with contexts, top-level
+//! (mutually recursive) bindings with optional type signatures, and an
+//! expression language of lambdas, application, `let`, `if`, integer
+//! and boolean literals. Lists are built from the prelude primitives
+//! `nil` / `cons` / `null` / `head` / `tail` rather than pattern
+//! matching, which keeps the front end small without losing the paper's
+//! examples.
+
+use crate::span::Span;
+use std::fmt;
+
+/// A surface-level type expression, e.g. `Eq a => a -> List a -> Bool`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeExpr {
+    /// Type variable (`a`).
+    Var(String, Span),
+    /// Type constructor (`Int`, `Bool`, `List`).
+    Con(String, Span),
+    /// Application (`List a`).
+    App(Box<TypeExpr>, Box<TypeExpr>, Span),
+    /// Function arrow (`a -> b`).
+    Fun(Box<TypeExpr>, Box<TypeExpr>, Span),
+}
+
+impl TypeExpr {
+    pub fn span(&self) -> Span {
+        match self {
+            TypeExpr::Var(_, s)
+            | TypeExpr::Con(_, s)
+            | TypeExpr::App(_, _, s)
+            | TypeExpr::Fun(_, _, s) => *s,
+        }
+    }
+}
+
+impl fmt::Display for TypeExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeExpr::Var(n, _) => f.write_str(n),
+            TypeExpr::Con(n, _) => f.write_str(n),
+            TypeExpr::App(a, b, _) => write!(f, "{a} ({b})"),
+            TypeExpr::Fun(a, b, _) => write!(f, "({a} -> {b})"),
+        }
+    }
+}
+
+/// A class predicate in source syntax: `Eq a`, `Ord (List b)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredExpr {
+    pub class: String,
+    pub ty: TypeExpr,
+    pub span: Span,
+}
+
+/// A qualified type: `(Eq a, Ord b) => ...`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QualTypeExpr {
+    pub context: Vec<PredExpr>,
+    pub ty: TypeExpr,
+    pub span: Span,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Variable or method reference.
+    Var(String, Span),
+    /// Constructor reference (`True`, `False`, `Nil`).
+    Con(String, Span),
+    /// Integer literal.
+    IntLit(i64, Span),
+    /// Application `f x`.
+    App(Box<Expr>, Box<Expr>, Span),
+    /// Lambda `\x -> e` (multi-parameter lambdas are desugared).
+    Lam(String, Box<Expr>, Span),
+    /// `let { x = e1; ... } in e2`; bindings are mutually recursive.
+    Let(Vec<Binding>, Box<Expr>, Span),
+    /// `if c then t else e`.
+    If(Box<Expr>, Box<Expr>, Box<Expr>, Span),
+    /// Placeholder produced by parser recovery. Type checks as a fresh
+    /// variable so one syntax error does not cascade into dozens of
+    /// bogus type errors; evaluation of it is an error.
+    Hole(Span),
+}
+
+impl Expr {
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Var(_, s)
+            | Expr::Con(_, s)
+            | Expr::IntLit(_, s)
+            | Expr::App(_, _, s)
+            | Expr::Lam(_, _, s)
+            | Expr::Let(_, _, s)
+            | Expr::If(_, _, _, s)
+            | Expr::Hole(s) => *s,
+        }
+    }
+}
+
+/// `name = expr` (with any parameters already desugared into lambdas).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Binding {
+    pub name: String,
+    pub expr: Expr,
+    pub span: Span,
+}
+
+/// A method signature inside a class declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodSig {
+    pub name: String,
+    pub qual_ty: QualTypeExpr,
+    pub span: Span,
+}
+
+/// `class (Super a, ...) => C a where { m :: t; ... }`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassDecl {
+    pub supers: Vec<PredExpr>,
+    pub name: String,
+    pub tyvar: String,
+    pub methods: Vec<MethodSig>,
+    pub span: Span,
+}
+
+/// `instance (C a, ...) => C (T a ...) where { m = e; ... }`
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceDecl {
+    pub context: Vec<PredExpr>,
+    pub class: String,
+    pub head: TypeExpr,
+    pub methods: Vec<Binding>,
+    pub span: Span,
+}
+
+/// A top-level type signature `name :: qualtype`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SigDecl {
+    pub name: String,
+    pub qual_ty: QualTypeExpr,
+    pub span: Span,
+}
+
+/// A whole source file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    pub classes: Vec<ClassDecl>,
+    pub instances: Vec<InstanceDecl>,
+    pub sigs: Vec<SigDecl>,
+    pub bindings: Vec<Binding>,
+}
+
+impl Program {
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+            && self.instances.is_empty()
+            && self.sigs.is_empty()
+            && self.bindings.is_empty()
+    }
+
+    /// Append another program (used to splice the prelude in front of
+    /// user code).
+    pub fn extend(&mut self, other: Program) {
+        self.classes.extend(other.classes);
+        self.instances.extend(other.instances);
+        self.sigs.extend(other.sigs);
+        self.bindings.extend(other.bindings);
+    }
+}

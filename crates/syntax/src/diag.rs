@@ -1,0 +1,304 @@
+//! The shared diagnostic model.
+//!
+//! Every pipeline stage — lexer, parser, class-environment construction,
+//! type inference, dictionary conversion, evaluation — reports problems
+//! as [`Diagnostic`] values collected in a [`Diagnostics`] bag. Stages
+//! never panic on user input and never stop at the first error when
+//! recovery is possible; instead they accumulate diagnostics and let the
+//! driver decide how to present them.
+
+use crate::span::{LineMap, Span};
+use std::fmt;
+
+/// How bad a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Something suspicious but not fatal (e.g. shadowed binding).
+    Warning,
+    /// The program is rejected.
+    Error,
+}
+
+/// Which pipeline stage produced a diagnostic. Useful both for tests
+/// (asserting an adversarial program dies in the stage we expect) and
+/// for users reading mixed output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    Lexer,
+    Parser,
+    Classes,
+    TypeCheck,
+    DictConv,
+    Eval,
+    Driver,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Stage::Lexer => "lex",
+            Stage::Parser => "parse",
+            Stage::Classes => "classes",
+            Stage::TypeCheck => "typecheck",
+            Stage::DictConv => "dict",
+            Stage::Eval => "eval",
+            Stage::Driver => "driver",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single structured diagnostic with a primary span and optional
+/// secondary notes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub severity: Severity,
+    pub stage: Stage,
+    /// Stable machine-readable code, e.g. `E0003`.
+    pub code: &'static str,
+    pub message: String,
+    pub span: Span,
+    /// Extra context lines: (optional span, note text).
+    pub notes: Vec<(Option<Span>, String)>,
+}
+
+impl Diagnostic {
+    pub fn error(stage: Stage, code: &'static str, message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            stage,
+            code,
+            message: message.into(),
+            span,
+            notes: Vec::new(),
+        }
+    }
+
+    pub fn warning(
+        stage: Stage,
+        code: &'static str,
+        message: impl Into<String>,
+        span: Span,
+    ) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            stage,
+            code,
+            message: message.into(),
+            span,
+            notes: Vec::new(),
+        }
+    }
+
+    pub fn with_note(mut self, span: Option<Span>, note: impl Into<String>) -> Self {
+        self.notes.push((span, note.into()));
+        self
+    }
+
+    /// Render with a source excerpt and caret line, `rustc`-style but
+    /// deliberately minimal.
+    pub fn render(&self, src: &str, line_map: &LineMap) -> String {
+        use fmt::Write as _;
+        let (line, col) = line_map.location(self.span.start);
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{}[{}/{}]: {} (line {}, col {})",
+            match self.severity {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            },
+            self.stage,
+            self.code,
+            self.message,
+            line,
+            col
+        );
+        if !self.span.is_dummy() {
+            let text = line_map.line_text(src, self.span.start);
+            if !text.is_empty() {
+                let caret_col = (col as usize).saturating_sub(1);
+                let caret_len = (self.span.len() as usize)
+                    .clamp(1, text.len().saturating_sub(caret_col).max(1));
+                let _ = write!(
+                    out,
+                    "\n  | {}\n  | {}{}",
+                    text,
+                    " ".repeat(caret_col.min(text.len())),
+                    "^".repeat(caret_len)
+                );
+            }
+        }
+        for (nspan, note) in &self.notes {
+            let _ = write!(out, "\n  note: {note}");
+            if let Some(s) = nspan {
+                let (nl, nc) = line_map.location(s.start);
+                let _ = write!(out, " (line {nl}, col {nc})");
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}/{}]: {} @ {}",
+            match self.severity {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            },
+            self.stage,
+            self.code,
+            self.message,
+            self.span
+        )
+    }
+}
+
+/// An append-only bag of diagnostics with a hard cap.
+///
+/// The cap is a robustness measure in its own right: a pathological
+/// input that produces one diagnostic per byte must not balloon memory.
+/// Once the cap is hit, further diagnostics are counted but dropped,
+/// and a final "too many errors" marker is appended.
+#[derive(Debug, Clone)]
+pub struct Diagnostics {
+    items: Vec<Diagnostic>,
+    cap: usize,
+    dropped: usize,
+}
+
+impl Default for Diagnostics {
+    fn default() -> Self {
+        Self::with_cap(Self::DEFAULT_CAP)
+    }
+}
+
+impl Diagnostics {
+    pub const DEFAULT_CAP: usize = 200;
+
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_cap(cap: usize) -> Self {
+        Diagnostics {
+            items: Vec::new(),
+            cap: cap.max(1),
+            dropped: 0,
+        }
+    }
+
+    pub fn push(&mut self, d: Diagnostic) {
+        if self.items.len() < self.cap {
+            self.items.push(d);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    pub fn extend(&mut self, other: Diagnostics) {
+        self.dropped += other.dropped;
+        for d in other.items {
+            self.push(d);
+        }
+    }
+
+    pub fn error(&mut self, stage: Stage, code: &'static str, msg: impl Into<String>, span: Span) {
+        self.push(Diagnostic::error(stage, code, msg, span));
+    }
+
+    pub fn warning(
+        &mut self,
+        stage: Stage,
+        code: &'static str,
+        msg: impl Into<String>,
+        span: Span,
+    ) {
+        self.push(Diagnostic::warning(stage, code, msg, span));
+    }
+
+    pub fn has_errors(&self) -> bool {
+        self.items.iter().any(|d| d.severity == Severity::Error) || self.dropped > 0
+    }
+
+    pub fn error_count(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+            + self.dropped
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty() && self.dropped == 0
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Number of diagnostics dropped because the cap was reached.
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.items.iter()
+    }
+
+    pub fn into_vec(self) -> Vec<Diagnostic> {
+        self.items
+    }
+
+    /// Render all diagnostics against the source, one block per
+    /// diagnostic, plus a trailer if any were dropped.
+    pub fn render_all(&self, src: &str) -> String {
+        let lm = LineMap::new(src);
+        let mut blocks: Vec<String> = self.items.iter().map(|d| d.render(src, &lm)).collect();
+        if self.dropped > 0 {
+            blocks.push(format!(
+                "error[driver/E0000]: too many diagnostics; {} further diagnostic(s) suppressed",
+                self.dropped
+            ));
+        }
+        blocks.join("\n")
+    }
+}
+
+impl IntoIterator for Diagnostics {
+    type Item = Diagnostic;
+    type IntoIter = std::vec::IntoIter<Diagnostic>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cap_drops_but_counts() {
+        let mut bag = Diagnostics::with_cap(2);
+        for i in 0..5 {
+            bag.error(Stage::Lexer, "E9999", format!("d{i}"), Span::DUMMY);
+        }
+        assert_eq!(bag.len(), 2);
+        assert_eq!(bag.dropped(), 3);
+        assert_eq!(bag.error_count(), 5);
+        assert!(bag.has_errors());
+    }
+
+    #[test]
+    fn render_includes_caret() {
+        let src = "let x = @;";
+        let lm = LineMap::new(src);
+        let d = Diagnostic::error(Stage::Lexer, "E0001", "unknown character", Span::new(8, 9));
+        let r = d.render(src, &lm);
+        assert!(r.contains("unknown character"), "{r}");
+        assert!(r.contains('^'), "{r}");
+    }
+}

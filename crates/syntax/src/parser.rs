@@ -1,0 +1,763 @@
+//! A recovering recursive-descent parser.
+//!
+//! Design rules, in order of importance:
+//!
+//! 1. **Never panic, never hang.** All recursion is guarded by an
+//!    explicit nesting budget ([`ParseOptions::max_depth`]), so a
+//!    source file of ten thousand `(` produces a diagnostic instead of
+//!    a stack overflow. Every recovery loop consumes at least one token,
+//!    so parsing always terminates.
+//! 2. **Recover and accumulate.** A broken top-level declaration is
+//!    skipped to the next synchronization point (`;`, `class`,
+//!    `instance`, or a closing brace) and parsing continues, so one
+//!    typo does not hide every later error.
+//! 3. **Blame precisely.** Diagnostics carry the span of the offending
+//!    token and say what was expected.
+
+use crate::ast::*;
+use crate::diag::{Diagnostics, Stage};
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Knobs for parser robustness limits.
+#[derive(Debug, Clone)]
+pub struct ParseOptions {
+    /// Maximum grammar recursion depth (expression/type nesting).
+    pub max_depth: usize,
+}
+
+impl Default for ParseOptions {
+    fn default() -> Self {
+        ParseOptions { max_depth: 400 }
+    }
+}
+
+/// Marker meaning "a diagnostic was already recorded; unwind to the
+/// nearest recovery point".
+struct Broken;
+
+type PResult<T> = Result<T, Broken>;
+
+enum SigOrBinding {
+    Sig(SigDecl),
+    Binding(Binding),
+}
+
+struct Parser<'t> {
+    toks: &'t [Token],
+    pos: usize,
+    depth: usize,
+    opts: ParseOptions,
+    diags: Diagnostics,
+}
+
+/// Parse a token stream (as produced by [`crate::lex`]) into a
+/// [`Program`], accumulating diagnostics. The returned program contains
+/// every declaration that could be salvaged.
+pub fn parse_program(tokens: &[Token], opts: ParseOptions) -> (Program, Diagnostics) {
+    let mut p = Parser {
+        toks: tokens,
+        pos: 0,
+        depth: 0,
+        opts,
+        diags: Diagnostics::new(),
+    };
+    let prog = p.program();
+    (prog, p.diags)
+}
+
+impl<'t> Parser<'t> {
+    // ------------------------------------------------------------------
+    // Token plumbing
+    // ------------------------------------------------------------------
+
+    fn peek(&self) -> &TokenKind {
+        self.toks
+            .get(self.pos)
+            .map(|t| &t.kind)
+            .unwrap_or(&TokenKind::Eof)
+    }
+
+    fn peek_at(&self, off: usize) -> &TokenKind {
+        self.toks
+            .get(self.pos + off)
+            .map(|t| &t.kind)
+            .unwrap_or(&TokenKind::Eof)
+    }
+
+    fn span(&self) -> Span {
+        self.toks
+            .get(self.pos)
+            .map(|t| t.span)
+            .or_else(|| self.toks.last().map(|t| t.span))
+            .unwrap_or(Span::DUMMY)
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self
+            .toks
+            .get(self.pos)
+            .cloned()
+            .unwrap_or_else(|| Token::new(TokenKind::Eof, Span::DUMMY));
+        if !matches!(t.kind, TokenKind::Eof) {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        self.peek() == kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn err_here(&mut self, code: &'static str, msg: String) -> Broken {
+        let span = self.span();
+        self.diags.error(Stage::Parser, code, msg, span);
+        Broken
+    }
+
+    fn expect(&mut self, kind: TokenKind, ctx: &str) -> PResult<Token> {
+        if self.at(&kind) {
+            Ok(self.bump())
+        } else {
+            let found = self.peek().describe();
+            Err(self.err_here(
+                "E0201",
+                format!("expected {} {ctx}, found {found}", kind.describe()),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self, ctx: &str) -> PResult<(String, Span)> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                let t = self.bump();
+                Ok((name, t.span))
+            }
+            other => Err(self.err_here(
+                "E0202",
+                format!("expected identifier {ctx}, found {}", other.describe()),
+            )),
+        }
+    }
+
+    fn expect_upper(&mut self, ctx: &str) -> PResult<(String, Span)> {
+        match self.peek().clone() {
+            TokenKind::UpperIdent(name) => {
+                let t = self.bump();
+                Ok((name, t.span))
+            }
+            other => Err(self.err_here(
+                "E0203",
+                format!(
+                    "expected capitalized name {ctx}, found {}",
+                    other.describe()
+                ),
+            )),
+        }
+    }
+
+    /// Run `f` one grammar level deeper; errors out (with a single
+    /// diagnostic) when the nesting budget is exhausted. The depth is
+    /// restored on all paths, including `Err` returns from `f`.
+    fn with_depth<T>(&mut self, f: impl FnOnce(&mut Self) -> PResult<T>) -> PResult<T> {
+        if self.depth >= self.opts.max_depth {
+            let span = self.span();
+            self.diags.error(
+                Stage::Parser,
+                "E0207",
+                format!(
+                    "nesting deeper than the limit of {} levels; simplify the expression",
+                    self.opts.max_depth
+                ),
+                span,
+            );
+            return Err(Broken);
+        }
+        self.depth += 1;
+        let r = f(self);
+        self.depth = self.depth.saturating_sub(1);
+        r
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery
+    // ------------------------------------------------------------------
+
+    /// Skip tokens until a plausible top-level start or separator.
+    /// Always makes progress.
+    fn sync_topdecl(&mut self) {
+        loop {
+            match self.peek() {
+                TokenKind::Eof | TokenKind::Class | TokenKind::Instance => return,
+                TokenKind::Semi => {
+                    self.bump();
+                    return;
+                }
+                // A lower identifier followed by `::` or `=` looks like
+                // the start of the next declaration; stop before it.
+                TokenKind::Ident(_)
+                    if matches!(self.peek_at(1), TokenKind::DoubleColon | TokenKind::Equals) =>
+                {
+                    return;
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// Skip tokens until `;` at bracket depth 0 (consumed), or a
+    /// closing brace / Eof (not consumed). Always makes progress when
+    /// anything is skipped.
+    fn sync_in_braces(&mut self) {
+        let mut depth = 0usize;
+        loop {
+            match self.peek() {
+                TokenKind::Eof => return,
+                TokenKind::Semi if depth == 0 => {
+                    self.bump();
+                    return;
+                }
+                TokenKind::RBrace if depth == 0 => return,
+                TokenKind::LBrace | TokenKind::LParen => {
+                    depth = depth.saturating_add(1);
+                    self.bump();
+                }
+                TokenKind::RBrace | TokenKind::RParen => {
+                    depth = depth.saturating_sub(1);
+                    self.bump();
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Top level
+    // ------------------------------------------------------------------
+
+    fn program(&mut self) -> Program {
+        let mut prog = Program::default();
+        loop {
+            // Tolerate stray semicolons between declarations.
+            while self.eat(&TokenKind::Semi) {}
+            match self.peek() {
+                TokenKind::Eof => break,
+                TokenKind::Class => match self.class_decl() {
+                    Ok(c) => prog.classes.push(c),
+                    Err(Broken) => self.sync_topdecl(),
+                },
+                TokenKind::Instance => match self.instance_decl() {
+                    Ok(i) => prog.instances.push(i),
+                    Err(Broken) => self.sync_topdecl(),
+                },
+                TokenKind::Ident(_) => match self.sig_or_binding() {
+                    Ok(SigOrBinding::Sig(s)) => prog.sigs.push(s),
+                    Ok(SigOrBinding::Binding(b)) => prog.bindings.push(b),
+                    Err(Broken) => self.sync_topdecl(),
+                },
+                other => {
+                    let msg = format!(
+                        "expected a class, instance, signature, or binding at top level, found {}",
+                        other.describe()
+                    );
+                    let _ = self.err_here("E0204", msg);
+                    self.sync_topdecl();
+                }
+            }
+        }
+        prog
+    }
+
+    fn class_decl(&mut self) -> PResult<ClassDecl> {
+        let start = self.span();
+        self.expect(TokenKind::Class, "to start a class declaration")?;
+        let supers = if self.context_ahead() {
+            let ctx = self.context()?;
+            self.expect(TokenKind::FatArrow, "after superclass context")?;
+            ctx
+        } else {
+            Vec::new()
+        };
+        let (name, _) = self.expect_upper("as the class name")?;
+        let (tyvar, _) = self.expect_ident("as the class type variable")?;
+        self.expect(TokenKind::Where, "after the class head")?;
+        self.expect(TokenKind::LBrace, "to open the class body")?;
+        let mut methods = Vec::new();
+        while !self.at(&TokenKind::RBrace) && !self.at(&TokenKind::Eof) {
+            match self.method_sig() {
+                Ok(m) => {
+                    methods.push(m);
+                    if !self.eat(&TokenKind::Semi) && !self.at(&TokenKind::RBrace) {
+                        let _ = self.err_here(
+                            "E0205",
+                            "expected `;` or `}` after a method signature".to_string(),
+                        );
+                        self.sync_in_braces();
+                    }
+                }
+                Err(Broken) => self.sync_in_braces(),
+            }
+        }
+        let end = self.span();
+        self.expect(TokenKind::RBrace, "to close the class body")?;
+        Ok(ClassDecl {
+            supers,
+            name,
+            tyvar,
+            methods,
+            span: start.merge(end),
+        })
+    }
+
+    fn method_sig(&mut self) -> PResult<MethodSig> {
+        let (name, nspan) = self.expect_ident("as a method name")?;
+        self.expect(TokenKind::DoubleColon, "after the method name")?;
+        let qt = self.qual_type()?;
+        let span = nspan.merge(qt.span);
+        Ok(MethodSig {
+            name,
+            qual_ty: qt,
+            span,
+        })
+    }
+
+    fn instance_decl(&mut self) -> PResult<InstanceDecl> {
+        let start = self.span();
+        self.expect(TokenKind::Instance, "to start an instance declaration")?;
+        let context = if self.context_ahead() {
+            let ctx = self.context()?;
+            self.expect(TokenKind::FatArrow, "after instance context")?;
+            ctx
+        } else {
+            Vec::new()
+        };
+        let (class, _) = self.expect_upper("as the instance's class name")?;
+        let head = self.atype()?;
+        self.expect(TokenKind::Where, "after the instance head")?;
+        self.expect(TokenKind::LBrace, "to open the instance body")?;
+        let mut methods = Vec::new();
+        while !self.at(&TokenKind::RBrace) && !self.at(&TokenKind::Eof) {
+            match self.binding() {
+                Ok(b) => {
+                    methods.push(b);
+                    if !self.eat(&TokenKind::Semi) && !self.at(&TokenKind::RBrace) {
+                        let _ = self.err_here(
+                            "E0205",
+                            "expected `;` or `}` after an instance method".to_string(),
+                        );
+                        self.sync_in_braces();
+                    }
+                }
+                Err(Broken) => self.sync_in_braces(),
+            }
+        }
+        let end = self.span();
+        self.expect(TokenKind::RBrace, "to close the instance body")?;
+        Ok(InstanceDecl {
+            context,
+            class,
+            head,
+            methods,
+            span: start.merge(end),
+        })
+    }
+
+    fn sig_or_binding(&mut self) -> PResult<SigOrBinding> {
+        if matches!(self.peek_at(1), TokenKind::DoubleColon) {
+            let (name, nspan) = self.expect_ident("as a signature name")?;
+            self.bump(); // `::`
+            let qt = self.qual_type()?;
+            if !self.eat(&TokenKind::Semi) && !self.at(&TokenKind::Eof) {
+                let _ = self.err_here("E0205", "expected `;` after a type signature".to_string());
+                self.sync_topdecl();
+            }
+            let span = nspan.merge(qt.span);
+            Ok(SigOrBinding::Sig(SigDecl {
+                name,
+                qual_ty: qt,
+                span,
+            }))
+        } else {
+            let b = self.binding()?;
+            if !self.eat(&TokenKind::Semi) && !self.at(&TokenKind::Eof) {
+                let _ = self.err_here("E0205", "expected `;` after a binding".to_string());
+                self.sync_topdecl();
+            }
+            Ok(SigOrBinding::Binding(b))
+        }
+    }
+
+    /// `name param* = expr` — parameters desugar to nested lambdas.
+    fn binding(&mut self) -> PResult<Binding> {
+        let (name, nspan) = self.expect_ident("as a binding name")?;
+        let mut params: Vec<(String, Span)> = Vec::new();
+        while let TokenKind::Ident(p) = self.peek().clone() {
+            let t = self.bump();
+            params.push((p, t.span));
+        }
+        self.expect(TokenKind::Equals, "after the binding head")?;
+        let body = self.expr()?;
+        let span = nspan.merge(body.span());
+        let expr = params.into_iter().rev().fold(body, |acc, (p, pspan)| {
+            let s = pspan.merge(acc.span());
+            Expr::Lam(p, Box::new(acc), s)
+        });
+        Ok(Binding { name, expr, span })
+    }
+
+    // ------------------------------------------------------------------
+    // Types and contexts
+    // ------------------------------------------------------------------
+
+    /// Decide whether a class context (`C t =>` or `(C t, ...) =>`)
+    /// starts at the cursor, by scanning ahead for a `=>` at paren
+    /// depth zero before any token that cannot occur inside a context.
+    /// The scan consumes one token per iteration and stops at `Eof`,
+    /// so it always terminates.
+    fn context_ahead(&self) -> bool {
+        let mut depth = 0usize;
+        let mut off = 0usize;
+        loop {
+            match self.peek_at(off) {
+                TokenKind::FatArrow if depth == 0 => return true,
+                TokenKind::LParen => depth += 1,
+                TokenKind::RParen => {
+                    if depth == 0 {
+                        return false;
+                    }
+                    depth -= 1;
+                }
+                TokenKind::Arrow
+                | TokenKind::Equals
+                | TokenKind::Semi
+                | TokenKind::Where
+                | TokenKind::LBrace
+                | TokenKind::RBrace
+                | TokenKind::Eof => return false,
+                _ => {}
+            }
+            off += 1;
+        }
+    }
+
+    fn context(&mut self) -> PResult<Vec<PredExpr>> {
+        if self.at(&TokenKind::LParen) {
+            self.bump();
+            let mut preds = Vec::new();
+            if !self.at(&TokenKind::RParen) {
+                loop {
+                    preds.push(self.pred()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(TokenKind::RParen, "to close the context")?;
+            Ok(preds)
+        } else {
+            Ok(vec![self.pred()?])
+        }
+    }
+
+    fn pred(&mut self) -> PResult<PredExpr> {
+        let (class, cspan) = self.expect_upper("as a class name in a context")?;
+        let ty = self.atype()?;
+        let span = cspan.merge(ty.span());
+        Ok(PredExpr { class, ty, span })
+    }
+
+    fn qual_type(&mut self) -> PResult<QualTypeExpr> {
+        let start = self.span();
+        let context = if self.context_ahead() {
+            let ctx = self.context()?;
+            self.expect(TokenKind::FatArrow, "after the context")?;
+            ctx
+        } else {
+            Vec::new()
+        };
+        let ty = self.type_expr()?;
+        let span = start.merge(ty.span());
+        Ok(QualTypeExpr { context, ty, span })
+    }
+
+    fn type_expr(&mut self) -> PResult<TypeExpr> {
+        self.with_depth(|p| {
+            let lhs = p.btype()?;
+            if p.eat(&TokenKind::Arrow) {
+                let rhs = p.type_expr()?;
+                let span = lhs.span().merge(rhs.span());
+                Ok(TypeExpr::Fun(Box::new(lhs), Box::new(rhs), span))
+            } else {
+                Ok(lhs)
+            }
+        })
+    }
+
+    fn btype(&mut self) -> PResult<TypeExpr> {
+        let mut acc = self.atype()?;
+        while self.type_atom_ahead() {
+            let arg = self.atype()?;
+            let span = acc.span().merge(arg.span());
+            acc = TypeExpr::App(Box::new(acc), Box::new(arg), span);
+        }
+        Ok(acc)
+    }
+
+    fn type_atom_ahead(&self) -> bool {
+        matches!(
+            self.peek(),
+            TokenKind::Ident(_) | TokenKind::UpperIdent(_) | TokenKind::LParen
+        )
+    }
+
+    fn atype(&mut self) -> PResult<TypeExpr> {
+        self.with_depth(|p| match p.peek().clone() {
+            TokenKind::Ident(n) => {
+                let t = p.bump();
+                Ok(TypeExpr::Var(n, t.span))
+            }
+            TokenKind::UpperIdent(n) => {
+                let t = p.bump();
+                Ok(TypeExpr::Con(n, t.span))
+            }
+            TokenKind::LParen => {
+                p.bump();
+                let inner = p.type_expr()?;
+                p.expect(TokenKind::RParen, "to close the type")?;
+                Ok(inner)
+            }
+            other => Err(p.err_here(
+                "E0206",
+                format!("expected a type, found {}", other.describe()),
+            )),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+
+    fn expr(&mut self) -> PResult<Expr> {
+        self.with_depth(|p| match p.peek().clone() {
+            TokenKind::Backslash => {
+                let start = p.span();
+                p.bump();
+                let mut params = Vec::new();
+                while let TokenKind::Ident(n) = p.peek().clone() {
+                    let t = p.bump();
+                    params.push((n, t.span));
+                }
+                if params.is_empty() {
+                    return Err(
+                        p.err_here("E0208", "a lambda needs at least one parameter".to_string())
+                    );
+                }
+                p.expect(TokenKind::Arrow, "after lambda parameters")?;
+                let body = p.expr()?;
+                let span = start.merge(body.span());
+                Ok(params.into_iter().rev().fold(body, |acc, (n, pspan)| {
+                    let s = pspan.merge(acc.span()).merge(span);
+                    Expr::Lam(n, Box::new(acc), s)
+                }))
+            }
+            TokenKind::Let => {
+                let start = p.span();
+                p.bump();
+                let mut binds = Vec::new();
+                if p.eat(&TokenKind::LBrace) {
+                    while !p.at(&TokenKind::RBrace) && !p.at(&TokenKind::Eof) {
+                        match p.binding() {
+                            Ok(b) => {
+                                binds.push(b);
+                                if !p.eat(&TokenKind::Semi) && !p.at(&TokenKind::RBrace) {
+                                    let _ = p.err_here(
+                                        "E0205",
+                                        "expected `;` or `}` after a let binding".to_string(),
+                                    );
+                                    p.sync_in_braces();
+                                }
+                            }
+                            Err(Broken) => p.sync_in_braces(),
+                        }
+                    }
+                    p.expect(TokenKind::RBrace, "to close the let bindings")?;
+                } else {
+                    binds.push(p.binding()?);
+                }
+                p.expect(TokenKind::In, "after let bindings")?;
+                let body = p.expr()?;
+                let span = start.merge(body.span());
+                Ok(Expr::Let(binds, Box::new(body), span))
+            }
+            TokenKind::If => {
+                let start = p.span();
+                p.bump();
+                let c = p.expr()?;
+                p.expect(TokenKind::Then, "after the condition")?;
+                let t = p.expr()?;
+                p.expect(TokenKind::Else, "after the then-branch")?;
+                let e = p.expr()?;
+                let span = start.merge(e.span());
+                Ok(Expr::If(Box::new(c), Box::new(t), Box::new(e), span))
+            }
+            _ => p.app_expr(),
+        })
+    }
+
+    fn app_expr(&mut self) -> PResult<Expr> {
+        let mut acc = self.atom()?;
+        while self.atom_ahead() {
+            let arg = self.atom()?;
+            let span = acc.span().merge(arg.span());
+            acc = Expr::App(Box::new(acc), Box::new(arg), span);
+        }
+        Ok(acc)
+    }
+
+    fn atom_ahead(&self) -> bool {
+        matches!(
+            self.peek(),
+            TokenKind::Ident(_) | TokenKind::UpperIdent(_) | TokenKind::Int(_) | TokenKind::LParen
+        )
+    }
+
+    fn atom(&mut self) -> PResult<Expr> {
+        self.with_depth(|p| match p.peek().clone() {
+            TokenKind::Ident(n) => {
+                let t = p.bump();
+                Ok(Expr::Var(n, t.span))
+            }
+            TokenKind::UpperIdent(n) => {
+                let t = p.bump();
+                Ok(Expr::Con(n, t.span))
+            }
+            TokenKind::Int(v) => {
+                let t = p.bump();
+                Ok(Expr::IntLit(v, t.span))
+            }
+            TokenKind::LParen => {
+                p.bump();
+                let inner = p.expr()?;
+                p.expect(TokenKind::RParen, "to close the expression")?;
+                Ok(inner)
+            }
+            other => Err(p.err_here(
+                "E0209",
+                format!("expected an expression, found {}", other.describe()),
+            )),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> (Program, Diagnostics) {
+        let (toks, lex_diags) = lex(src);
+        assert!(!lex_diags.has_errors(), "lex errors in test fixture");
+        parse_program(&toks, ParseOptions::default())
+    }
+
+    fn parse_lossy(src: &str) -> (Program, Diagnostics) {
+        let (toks, mut diags) = lex(src);
+        let (prog, pdiags) = parse_program(&toks, ParseOptions::default());
+        diags.extend(pdiags);
+        (prog, diags)
+    }
+
+    #[test]
+    fn class_and_instance() {
+        let (prog, diags) = parse(
+            "class Eq a where { eq :: a -> a -> Bool };\n\
+             instance Eq Int where { eq = primEqInt };\n\
+             instance Eq a => Eq (List a) where { eq = eqList eq };",
+        );
+        assert!(!diags.has_errors(), "{:?}", diags.into_vec());
+        assert_eq!(prog.classes.len(), 1);
+        assert_eq!(prog.instances.len(), 2);
+        assert_eq!(prog.instances[1].context.len(), 1);
+    }
+
+    #[test]
+    fn superclass_context() {
+        let (prog, diags) = parse("class Eq a => Ord a where { lte :: a -> a -> Bool };");
+        assert!(!diags.has_errors(), "{:?}", diags.into_vec());
+        assert_eq!(prog.classes[0].supers.len(), 1);
+        assert_eq!(prog.classes[0].supers[0].class, "Eq");
+    }
+
+    #[test]
+    fn binding_with_params_desugars() {
+        let (prog, diags) = parse("compose f g x = f (g x);");
+        assert!(!diags.has_errors());
+        assert!(matches!(prog.bindings[0].expr, Expr::Lam(..)));
+    }
+
+    #[test]
+    fn signature_with_context() {
+        let (prog, diags) = parse("member :: Eq a => a -> List a -> Bool;");
+        assert!(!diags.has_errors(), "{:?}", diags.into_vec());
+        assert_eq!(prog.sigs[0].qual_ty.context.len(), 1);
+    }
+
+    #[test]
+    fn recovery_keeps_later_decls() {
+        let (prog, diags) = parse_lossy("broken = = ;\ngood = 42;");
+        assert!(diags.has_errors());
+        assert_eq!(prog.bindings.len(), 1);
+        assert_eq!(prog.bindings[0].name, "good");
+    }
+
+    #[test]
+    fn multiple_errors_accumulate() {
+        let (_, diags) = parse_lossy("a = = ;\nb = = ;\nc = = ;");
+        assert!(diags.error_count() >= 3, "{:?}", diags.into_vec());
+    }
+
+    #[test]
+    fn deep_nesting_is_a_diagnostic_not_a_crash() {
+        let mut src = String::from("x = ");
+        src.push_str(&"(".repeat(50_000));
+        src.push('1');
+        src.push_str(&")".repeat(50_000));
+        src.push(';');
+        let (_, diags) = parse_lossy(&src);
+        assert!(diags.has_errors());
+        assert!(diags.iter().any(|d| d.code == "E0207"), "depth diagnostic");
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let (prog, diags) = parse("");
+        assert!(prog.is_empty());
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn truncated_input_terminates() {
+        let (_, diags) = parse_lossy("class Eq a where { eq ::");
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn if_let_lambda() {
+        let (prog, diags) = parse("f = \\x y -> if x then let z = y in z else 0;");
+        assert!(!diags.has_errors(), "{:?}", diags.into_vec());
+        assert_eq!(prog.bindings.len(), 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! Byte-offset source spans.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the source text.
+///
+/// Spans are cheap to copy and attached to every token, AST node, and
+/// diagnostic so that errors discovered deep in the pipeline can still
+/// point at the offending source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    pub start: u32,
+    pub end: u32,
+}
+
+impl Span {
+    pub fn new(start: u32, end: u32) -> Self {
+        Span { start, end }
+    }
+
+    /// A span that points at nothing; used for synthesized nodes
+    /// (prelude desugarings, compiler-generated bindings).
+    pub const DUMMY: Span = Span { start: 0, end: 0 };
+
+    pub fn is_dummy(&self) -> bool {
+        self.start == 0 && self.end == 0
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    /// Dummy spans are absorbed rather than dragging the result to 0.
+    pub fn merge(self, other: Span) -> Span {
+        if self.is_dummy() {
+            return other;
+        }
+        if other.is_dummy() {
+            return self;
+        }
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    pub fn len(&self) -> u32 {
+        self.end.saturating_sub(self.start)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// Resolves byte offsets to 1-based line/column pairs.
+///
+/// Built once per source file; lookup is a binary search over line
+/// starts, so rendering many diagnostics stays cheap.
+#[derive(Debug, Clone)]
+pub struct LineMap {
+    line_starts: Vec<u32>,
+    len: u32,
+}
+
+impl LineMap {
+    pub fn new(src: &str) -> Self {
+        let mut line_starts = vec![0u32];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                // Offsets into realistic sources fit u32; clamp otherwise.
+                line_starts.push(u32::try_from(i + 1).unwrap_or(u32::MAX));
+            }
+        }
+        LineMap {
+            line_starts,
+            len: u32::try_from(src.len()).unwrap_or(u32::MAX),
+        }
+    }
+
+    /// 1-based (line, column) for a byte offset. Offsets past the end of
+    /// the file clamp to the last position instead of panicking.
+    pub fn location(&self, offset: u32) -> (u32, u32) {
+        let offset = offset.min(self.len);
+        let line_idx = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i.saturating_sub(1),
+        };
+        let line_start = self.line_starts.get(line_idx).copied().unwrap_or(0);
+        (
+            u32::try_from(line_idx)
+                .unwrap_or(u32::MAX)
+                .saturating_add(1),
+            offset.saturating_sub(line_start).saturating_add(1),
+        )
+    }
+
+    /// The full text of the (1-based) line containing `offset`, without
+    /// its trailing newline. Used for diagnostic excerpts.
+    pub fn line_text<'s>(&self, src: &'s str, offset: u32) -> &'s str {
+        let offset = offset.min(self.len);
+        let line_idx = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i.saturating_sub(1),
+        };
+        let start = self.line_starts.get(line_idx).copied().unwrap_or(0) as usize;
+        let end = self
+            .line_starts
+            .get(line_idx + 1)
+            .map(|e| *e as usize)
+            .unwrap_or(src.len());
+        src.get(start..end).unwrap_or("").trim_end_matches('\n')
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_handles_dummy() {
+        let a = Span::new(3, 7);
+        assert_eq!(Span::DUMMY.merge(a), a);
+        assert_eq!(a.merge(Span::DUMMY), a);
+        assert_eq!(a.merge(Span::new(10, 12)), Span::new(3, 12));
+    }
+
+    #[test]
+    fn line_map_locations() {
+        let src = "ab\ncd\n";
+        let lm = LineMap::new(src);
+        assert_eq!(lm.location(0), (1, 1));
+        assert_eq!(lm.location(1), (1, 2));
+        assert_eq!(lm.location(3), (2, 1));
+        assert_eq!(lm.location(100), (3, 1)); // clamped, no panic
+        assert_eq!(lm.line_text(src, 4), "cd");
+    }
+}

@@ -1,0 +1,95 @@
+//! Tokens produced by the lexer.
+
+use crate::span::Span;
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Lower-case identifier: variables, method names.
+    Ident(String),
+    /// Upper-case identifier: type constructors, class names, `True`/`False`.
+    UpperIdent(String),
+    /// Integer literal. Stored as i64; overflow is a lexer diagnostic.
+    Int(i64),
+
+    // Keywords.
+    Class,
+    Instance,
+    Where,
+    Let,
+    In,
+    If,
+    Then,
+    Else,
+
+    // Punctuation / operators.
+    Backslash,
+    Arrow,       // ->
+    FatArrow,    // =>
+    DoubleColon, // ::
+    Equals,
+    Semi,
+    Comma,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+
+    /// End of input. Always the last token; makes the parser's
+    /// lookahead total without `Option` juggling.
+    Eof,
+
+    /// A token the lexer could not understand. Carries the raw text so
+    /// the parser can mention it while recovering.
+    Error(String),
+}
+
+impl TokenKind {
+    /// Human-readable name used in "expected X, found Y" messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::UpperIdent(s) => format!("constructor `{s}`"),
+            TokenKind::Int(n) => format!("integer `{n}`"),
+            TokenKind::Class => "`class`".into(),
+            TokenKind::Instance => "`instance`".into(),
+            TokenKind::Where => "`where`".into(),
+            TokenKind::Let => "`let`".into(),
+            TokenKind::In => "`in`".into(),
+            TokenKind::If => "`if`".into(),
+            TokenKind::Then => "`then`".into(),
+            TokenKind::Else => "`else`".into(),
+            TokenKind::Backslash => "`\\`".into(),
+            TokenKind::Arrow => "`->`".into(),
+            TokenKind::FatArrow => "`=>`".into(),
+            TokenKind::DoubleColon => "`::`".into(),
+            TokenKind::Equals => "`=`".into(),
+            TokenKind::Semi => "`;`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::LBrace => "`{`".into(),
+            TokenKind::RBrace => "`}`".into(),
+            TokenKind::Eof => "end of input".into(),
+            TokenKind::Error(s) => format!("unrecognized text `{s}`"),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub span: Span,
+}
+
+impl Token {
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}

@@ -1,0 +1,71 @@
+//! Run a Mini-Haskell program through the whole pipeline:
+//!
+//! ```sh
+//! cargo run --example run -- program.mh
+//! echo 'main = member 3 (enumFromTo 1 5);' | cargo run --example run
+//! cargo run --example run -- --small program.mh   # tiny evaluator budget
+//! cargo run --example run -- --core program.mh    # dump converted core
+//! ```
+
+use std::io::Read;
+use std::process::ExitCode;
+use typeclasses::{run_source, Budget, Options, Outcome};
+
+fn main() -> ExitCode {
+    let mut opts = Options::default();
+    let mut dump_core = false;
+    let mut path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--small" => opts.budget = Budget::small(),
+            "--core" => dump_core = true,
+            "--no-prelude" => opts.use_prelude = false,
+            _ if arg.starts_with('-') => {
+                eprintln!("error: unknown option `{arg}` (expected --small, --core, --no-prelude)");
+                return ExitCode::from(2);
+            }
+            _ => path = Some(arg),
+        }
+    }
+
+    let src = match &path {
+        Some(p) => match std::fs::read_to_string(p) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read {p}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => {
+            let mut s = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut s) {
+                eprintln!("error: cannot read stdin: {e}");
+                return ExitCode::from(2);
+            }
+            s
+        }
+    };
+
+    let r = run_source(&src, &opts);
+    if !r.check.diags.is_empty() {
+        eprint!("{}", r.check.render_diagnostics());
+    }
+    if dump_core {
+        println!("{}", r.check.pretty_core());
+    }
+    match r.outcome {
+        Outcome::Value(v) => {
+            println!("{v}");
+            ExitCode::SUCCESS
+        }
+        Outcome::NoMain => {
+            eprintln!("note: program has no `main`; nothing to evaluate");
+            ExitCode::SUCCESS
+        }
+        Outcome::CompileErrors => ExitCode::FAILURE,
+        Outcome::Eval(e) => {
+            eprintln!("runtime error: {e}");
+            ExitCode::from(3)
+        }
+    }
+}

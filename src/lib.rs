@@ -1,0 +1,21 @@
+//! Reproduction of *Implementing Type Classes* (Peterson & Jones,
+//! PLDI 1993): a Mini-Haskell compiler built around placeholder-based
+//! dictionary conversion, plus a resource-bounded lazy evaluator.
+//!
+//! This facade crate re-exports the pipeline crates; see the README
+//! for the stage-by-stage tour and [`tc_driver::run_source`] for the
+//! one-call entry point.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![deny(clippy::panic)]
+
+pub use tc_classes as classes;
+pub use tc_core as core_elab;
+pub use tc_coreir as coreir;
+pub use tc_driver as driver;
+pub use tc_eval as eval;
+pub use tc_syntax as syntax;
+pub use tc_types as types;
+
+pub use tc_driver::{check_source, run_source, Check, Options, Outcome, RunResult, PRELUDE};
+pub use tc_eval::{Budget, EvalError};

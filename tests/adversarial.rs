@@ -1,0 +1,280 @@
+//! Adversarial programs: every one of these must come back with a
+//! structured diagnostic or a structured evaluation error — zero
+//! panics, zero hangs. Each pipeline run happens on a helper thread
+//! with a hard wall-clock bound; a panic on that thread drops the
+//! channel sender, which also fails the test.
+
+use std::sync::mpsc;
+use std::thread;
+use std::time::Duration;
+use typeclasses::{run_source, Budget, EvalError, Options, Outcome};
+
+const WALL_CLOCK: Duration = Duration::from_secs(20);
+
+fn bounded_with(src: String, opts: Options) -> Outcome {
+    let (tx, rx) = mpsc::channel();
+    thread::spawn(move || {
+        let r = run_source(&src, &opts);
+        let _ = tx.send(r.outcome);
+    });
+    rx.recv_timeout(WALL_CLOCK)
+        .expect("pipeline exceeded the wall-clock bound or panicked")
+}
+
+fn bounded(src: &str) -> Outcome {
+    bounded_with(src.to_string(), Options::default())
+}
+
+fn small(src: &str) -> Outcome {
+    bounded_with(
+        src.to_string(),
+        Options::default().with_budget(Budget::small()),
+    )
+}
+
+#[test]
+fn junk_bytes() {
+    assert!(matches!(
+        bounded("@#%^&?!~ \u{0}\u{7}"),
+        Outcome::CompileErrors
+    ));
+}
+
+#[test]
+fn unterminated_everything() {
+    assert!(matches!(
+        bounded("class Eq2 a where { eq2 :: a ->"),
+        Outcome::CompileErrors
+    ));
+}
+
+#[test]
+fn deeply_nested_parens_hit_parser_depth_budget() {
+    let depth = 10_000;
+    let src = format!("main = {}1{};", "(".repeat(depth), ")".repeat(depth));
+    assert!(matches!(
+        bounded_with(src, Options::default()),
+        Outcome::CompileErrors
+    ));
+}
+
+#[test]
+fn deeply_nested_lambdas_hit_parser_depth_budget() {
+    let src = format!("main = {}1;", "\\x -> ".repeat(5_000));
+    assert!(matches!(
+        bounded_with(src, Options::default()),
+        Outcome::CompileErrors
+    ));
+}
+
+#[test]
+fn semicolon_flood() {
+    let src = ";".repeat(10_000);
+    let out = bounded_with(src, Options::default());
+    assert!(
+        matches!(out, Outcome::CompileErrors | Outcome::NoMain),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn thousands_of_chained_bindings_compile_and_run() {
+    // A 3000-binding dependency chain: dependency analysis and
+    // elaboration are iterative, so compilation terminates; evaluating
+    // the chain head stays shallow.
+    let mut src = String::from("a0 = 1;\n");
+    for i in 1..3_000 {
+        src.push_str(&format!("a{i} = a{};\n", i - 1));
+    }
+    src.push_str("main = a0;\n");
+    let out = bounded_with(src, Options::default());
+    assert!(matches!(out, Outcome::Value(ref v) if v == "1"), "{out:?}");
+}
+
+#[test]
+fn forcing_a_deep_global_chain_is_depth_limited() {
+    // Forcing the chain END nests one interpreter frame per link —
+    // the depth budget turns that into a structured error instead of
+    // a native stack overflow.
+    let mut src = String::from("a0 = 1;\n");
+    for i in 1..3_000 {
+        src.push_str(&format!("a{i} = a{};\n", i - 1));
+    }
+    src.push_str("main = a2999;\n");
+    let out = bounded_with(src, Options::default());
+    assert!(
+        matches!(out, Outcome::Eval(EvalError::DepthExceeded)),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn growing_instance_goal_exhausts_reduce_budget() {
+    // Resolving C (List a) requires C (List (List a)), forever.
+    let out = bounded(
+        "class C a where { m :: a -> Int; };\n\
+         instance C (List (List a)) => C (List a) where {\n\
+           m = \\x -> 0;\n\
+         };\n\
+         main = m (cons 1 nil);",
+    );
+    assert!(matches!(out, Outcome::CompileErrors), "{out:?}");
+}
+
+#[test]
+fn overlapping_instance_with_prelude() {
+    let out = bounded(
+        "instance Eq Int where { eq = primEqInt; neq = primEqInt; };\n\
+         main = eq 1 1;",
+    );
+    assert!(matches!(out, Outcome::CompileErrors), "{out:?}");
+}
+
+#[test]
+fn superclass_cycle() {
+    let out = bounded(
+        "class B a => A a where { fa :: a -> a; };\n\
+         class A a => B a where { fb :: a -> a; };\n\
+         main = 1;",
+    );
+    assert!(matches!(out, Outcome::CompileErrors), "{out:?}");
+}
+
+#[test]
+fn method_with_no_instance() {
+    let out = bounded("main = eq (\\x -> x) (\\y -> y);");
+    assert!(matches!(out, Outcome::CompileErrors), "{out:?}");
+}
+
+#[test]
+fn ambiguous_constraint() {
+    let out = bounded("amb = eq nil nil;\nmain = 1;");
+    assert!(matches!(out, Outcome::CompileErrors), "{out:?}");
+}
+
+#[test]
+fn main_with_class_context_rejected() {
+    let out = bounded("main x = eq x x;");
+    assert!(matches!(out, Outcome::CompileErrors), "{out:?}");
+}
+
+#[test]
+fn duplicate_bindings_rejected() {
+    let out = bounded("main = 1;\nmain = 2;");
+    assert!(matches!(out, Outcome::CompileErrors), "{out:?}");
+}
+
+#[test]
+fn infinite_loop_is_budgeted() {
+    let out = small("loop x = loop x;\nmain = loop 1;");
+    assert!(
+        matches!(
+            out,
+            Outcome::Eval(EvalError::FuelExhausted | EvalError::DepthExceeded)
+        ),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn rendering_infinite_list_exhausts_fuel() {
+    let out = small("from n = cons n (from (add n 1));\nmain = from 0;");
+    assert!(
+        matches!(out, Outcome::Eval(EvalError::FuelExhausted)),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn allocation_bomb_is_budgeted() {
+    let out = small("main = length (enumFromTo 1 100000000);");
+    assert!(
+        matches!(
+            out,
+            Outcome::Eval(
+                EvalError::FuelExhausted | EvalError::AllocationLimit | EvalError::DepthExceeded
+            )
+        ),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn deep_guest_recursion_is_depth_limited() {
+    let out = bounded("main = sum (enumFromTo 1 1000000);");
+    assert!(
+        matches!(
+            out,
+            Outcome::Eval(EvalError::DepthExceeded | EvalError::FuelExhausted)
+        ),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn self_referential_value_is_a_blackhole() {
+    let out = bounded("x = x;\nmain = x;");
+    assert!(
+        matches!(out, Outcome::Eval(EvalError::BlackHole)),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn head_of_empty_list_is_structured() {
+    let out = bounded("main = head (filter (\\x -> lt x 0) (enumFromTo 1 3));");
+    assert!(
+        matches!(out, Outcome::Eval(EvalError::EmptyList(_))),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn error_builtin_is_a_failure_value() {
+    let out = bounded("main = error;");
+    assert!(
+        matches!(out, Outcome::Eval(EvalError::Failure(_))),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn division_by_zero_is_structured() {
+    let out = bounded("main = primDivInt 1 0;");
+    assert!(
+        matches!(out, Outcome::Eval(EvalError::DivideByZero)),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn integer_overflow_is_structured() {
+    let out = bounded("main = mul 4611686018427387904 4;");
+    assert!(
+        matches!(out, Outcome::Eval(EvalError::IntOverflow)),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn parse_type_and_eval_errors_all_reported_together() {
+    // One program with a parse error, a type error, and a binding that
+    // would fail at runtime: compilation reports the first two and
+    // never panics.
+    let src = "broken = ) 1;\nmismatch = eq 1 True;\nmain = head nil;";
+    let (tx, rx) = mpsc::channel();
+    let owned = src.to_string();
+    thread::spawn(move || {
+        let r = run_source(&owned, &Options::default());
+        let _ = tx.send((
+            r.check.diags.error_count(),
+            r.check.render_diagnostics(),
+            matches!(r.outcome, Outcome::CompileErrors),
+        ));
+    });
+    let (errors, rendered, compile_errors) = rx
+        .recv_timeout(WALL_CLOCK)
+        .expect("pipeline exceeded the wall-clock bound or panicked");
+    assert!(compile_errors);
+    assert!(errors >= 2, "expected multiple diagnostics:\n{rendered}");
+}

@@ -1,0 +1,187 @@
+//! Property-style tests with a hand-rolled deterministic generator
+//! (the build environment is offline, so no proptest/rand): random
+//! programs must either compile-and-evaluate or come back with
+//! structured errors under a small budget — never panic, never hang.
+
+use typeclasses::{run_source, Budget, Options, Outcome};
+
+/// Deterministic xorshift64* PRNG.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A random expression over the whole surface grammar. Most results
+/// are ill-typed — that is the point: the pipeline must downgrade them
+/// to diagnostics, not crash.
+fn arbitrary_expr(rng: &mut Rng, depth: usize, bound: &mut Vec<String>) -> String {
+    if depth == 0 || rng.below(8) == 0 {
+        return leaf(rng, bound);
+    }
+    match rng.below(6) {
+        0 => {
+            let v = format!("v{}", bound.len());
+            bound.push(v.clone());
+            let body = arbitrary_expr(rng, depth - 1, bound);
+            bound.pop();
+            format!("(\\{v} -> {body})")
+        }
+        1 => format!(
+            "({} {})",
+            arbitrary_expr(rng, depth - 1, bound),
+            arbitrary_expr(rng, depth - 1, bound)
+        ),
+        2 => format!(
+            "(if {} then {} else {})",
+            arbitrary_expr(rng, depth - 1, bound),
+            arbitrary_expr(rng, depth - 1, bound),
+            arbitrary_expr(rng, depth - 1, bound)
+        ),
+        3 => {
+            let v = format!("v{}", bound.len());
+            bound.push(v.clone());
+            let rhs = arbitrary_expr(rng, depth - 1, bound);
+            let body = arbitrary_expr(rng, depth - 1, bound);
+            bound.pop();
+            format!("(let {{ {v} = {rhs} }} in {body})")
+        }
+        4 => format!(
+            "(cons {} {})",
+            arbitrary_expr(rng, depth - 1, bound),
+            arbitrary_expr(rng, depth - 1, bound)
+        ),
+        _ => format!(
+            "(eq {} {})",
+            arbitrary_expr(rng, depth - 1, bound),
+            arbitrary_expr(rng, depth - 1, bound)
+        ),
+    }
+}
+
+fn leaf(rng: &mut Rng, bound: &[String]) -> String {
+    const GLOBALS: &[&str] = &[
+        "nil", "head", "tail", "null", "not", "member", "length", "sum", "True", "False", "add",
+        "mul", "error",
+    ];
+    if !bound.is_empty() && rng.below(3) == 0 {
+        return bound[rng.below(bound.len() as u64) as usize].clone();
+    }
+    match rng.below(3) {
+        0 => format!("{}", rng.below(100)),
+        1 => GLOBALS[rng.below(GLOBALS.len() as u64) as usize].to_string(),
+        _ => format!("{}", rng.below(5)),
+    }
+}
+
+/// A random expression guaranteed to have type `Int`, so a good share
+/// of generated programs actually reach the evaluator.
+fn int_expr(rng: &mut Rng, depth: usize) -> String {
+    if depth == 0 || rng.below(6) == 0 {
+        return format!("{}", rng.below(1_000));
+    }
+    match rng.below(5) {
+        0 => format!(
+            "(add {} {})",
+            int_expr(rng, depth - 1),
+            int_expr(rng, depth - 1)
+        ),
+        1 => format!(
+            "(mul {} {})",
+            int_expr(rng, depth - 1),
+            int_expr(rng, depth - 1)
+        ),
+        2 => format!(
+            "(sub {} {})",
+            int_expr(rng, depth - 1),
+            int_expr(rng, depth - 1)
+        ),
+        3 => format!(
+            "(if (eq {} {}) then {} else {})",
+            int_expr(rng, depth - 1),
+            int_expr(rng, depth - 1),
+            int_expr(rng, depth - 1),
+            int_expr(rng, depth - 1)
+        ),
+        _ => format!("(sum (enumFromTo 1 {}))", rng.below(20)),
+    }
+}
+
+fn small_opts() -> Options {
+    Options::default().with_budget(Budget::small())
+}
+
+#[test]
+fn arbitrary_programs_never_panic_under_small_budget() {
+    let mut rng = Rng::new(0x5EED_CAFE);
+    for i in 0..200 {
+        let mut bound = Vec::new();
+        let expr = arbitrary_expr(&mut rng, 4, &mut bound);
+        let src = format!("main = {expr};");
+        // Any outcome is acceptable; reaching here without a panic or
+        // a hang is the property.
+        let r = run_source(&src, &small_opts());
+        match r.outcome {
+            Outcome::Value(_) | Outcome::CompileErrors | Outcome::Eval(_) => {}
+            Outcome::NoMain => panic!("iteration {i}: program lost its main:\n{src}"),
+        }
+    }
+}
+
+#[test]
+fn int_programs_evaluate_or_fail_structurally() {
+    let mut rng = Rng::new(0xB0B5_1ED5);
+    let mut values = 0u32;
+    for i in 0..150 {
+        let src = format!("main = {};", int_expr(&mut rng, 4));
+        let r = run_source(&src, &small_opts());
+        match r.outcome {
+            Outcome::Value(v) => {
+                assert!(
+                    v.parse::<i64>().is_ok(),
+                    "iteration {i}: non-integer rendering {v:?} for\n{src}"
+                );
+                values += 1;
+            }
+            // Budget exhaustion / overflow are legitimate structured ends.
+            Outcome::Eval(_) => {}
+            other => panic!(
+                "iteration {i}: well-typed program failed to compile: {other:?}\n{src}\n{}",
+                r.check.render_diagnostics()
+            ),
+        }
+    }
+    // The generator must not degenerate into all-errors.
+    assert!(values >= 50, "only {values} of 150 programs evaluated");
+}
+
+#[test]
+fn outcomes_are_deterministic() {
+    let mut rng = Rng::new(0xDE7E_C7AB);
+    for _ in 0..40 {
+        let mut bound = Vec::new();
+        let src = format!("main = {};", arbitrary_expr(&mut rng, 4, &mut bound));
+        let a = run_source(&src, &small_opts());
+        let b = run_source(&src, &small_opts());
+        assert_eq!(
+            format!("{:?}", a.outcome),
+            format!("{:?}", b.outcome),
+            "nondeterministic outcome for\n{src}"
+        );
+    }
+}
