@@ -62,6 +62,25 @@ impl ResolveError {
             | ResolveError::UnknownClass { pred } => pred,
         }
     }
+
+    /// The stable diagnostic code this error surfaces under, so tests
+    /// and tooling can match a *kind* of resolution failure instead of
+    /// string-matching the rendered message:
+    ///
+    /// | code    | meaning                                   |
+    /// |---------|-------------------------------------------|
+    /// | `E0410` | no instance / not deducible from context  |
+    /// | `E0420` | instance resolution is cyclic             |
+    /// | `E0421` | resolution depth/step budget exhausted    |
+    /// | `E0422` | predicate names an unknown class          |
+    pub fn code(&self) -> &'static str {
+        match self {
+            ResolveError::NoInstance { .. } => "E0410",
+            ResolveError::Cycle { .. } => "E0420",
+            ResolveError::BudgetExhausted { .. } => "E0421",
+            ResolveError::UnknownClass { .. } => "E0422",
+        }
+    }
 }
 
 impl fmt::Display for ResolveError {

@@ -51,7 +51,7 @@ impl ConvertCtx<'_> {
             Err(e) => {
                 diags.error(
                     Stage::DictConv,
-                    "E0410",
+                    e.code(),
                     resolve_error_message(&e),
                     zonked.span,
                 );

@@ -444,7 +444,7 @@ pub fn elaborate(
         let (retained, errors) = cenv.reduce_context(&all_preds, budget);
         for e in &errors {
             inf.diags
-                .error(Stage::TypeCheck, "E0410", e.to_string(), e.pred().span);
+                .error(Stage::TypeCheck, e.code(), e.to_string(), e.pred().span);
         }
         let mut gen_vars: BTreeSet<TyVar> = BTreeSet::new();
         let mut member_types: HashMap<String, Type> = HashMap::new();

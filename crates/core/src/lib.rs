@@ -20,6 +20,7 @@
 //!   to structured errors.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![deny(clippy::panic)]
 
 pub mod builtins;

@@ -129,34 +129,59 @@ impl CoreExpr {
             .fold(body, |acc, p| CoreExpr::Lam(p, Box::new(acc)))
     }
 
+    /// Push every direct child expression onto `out`. The shared
+    /// primitive behind the IR's iterative traversals (placeholder
+    /// detection here, the static-analysis walks in `tc-lint`), so a
+    /// new variant cannot be forgotten by one traversal but not
+    /// another.
+    pub fn push_children<'a>(&'a self, out: &mut Vec<&'a CoreExpr>) {
+        match self {
+            CoreExpr::Var(_) | CoreExpr::Lit(_) | CoreExpr::Fail(_) | CoreExpr::Placeholder(_) => {}
+            CoreExpr::App(a, b) => {
+                out.push(a);
+                out.push(b);
+            }
+            CoreExpr::Lam(_, b) => out.push(b),
+            CoreExpr::LetRec(bs, b) => {
+                out.push(b);
+                for (_, e) in bs {
+                    out.push(e);
+                }
+            }
+            CoreExpr::If(c, t, e2) => {
+                out.push(c);
+                out.push(t);
+                out.push(e2);
+            }
+            CoreExpr::Tuple(xs) => out.extend(xs.iter()),
+            CoreExpr::Proj(_, b) => out.push(b),
+        }
+    }
+
     /// Does any placeholder remain? Iterative traversal.
     pub fn first_placeholder(&self) -> Option<PlaceholderId> {
         let mut stack = vec![self];
         while let Some(e) = stack.pop() {
-            match e {
-                CoreExpr::Placeholder(id) => return Some(*id),
-                CoreExpr::Var(_) | CoreExpr::Lit(_) | CoreExpr::Fail(_) => {}
-                CoreExpr::App(a, b) => {
-                    stack.push(a);
-                    stack.push(b);
-                }
-                CoreExpr::Lam(_, b) => stack.push(b),
-                CoreExpr::LetRec(bs, b) => {
-                    stack.push(b);
-                    for (_, e) in bs {
-                        stack.push(e);
-                    }
-                }
-                CoreExpr::If(c, t, e2) => {
-                    stack.push(c);
-                    stack.push(t);
-                    stack.push(e2);
-                }
-                CoreExpr::Tuple(xs) => stack.extend(xs.iter()),
-                CoreExpr::Proj(_, b) => stack.push(b),
+            if let CoreExpr::Placeholder(id) = e {
+                return Some(*id);
             }
+            e.push_children(&mut stack);
         }
         None
+    }
+
+    /// The application spine of the expression: the head (the innermost
+    /// function) and the arguments, outermost application last. A
+    /// non-application returns itself with no arguments.
+    pub fn spine(&self) -> (&CoreExpr, Vec<&CoreExpr>) {
+        let mut head = self;
+        let mut args: Vec<&CoreExpr> = Vec::new();
+        while let CoreExpr::App(f, x) = head {
+            args.push(x);
+            head = f;
+        }
+        args.reverse();
+        (head, args)
     }
 }
 
@@ -295,6 +320,22 @@ mod tests {
             main: None,
         };
         assert_eq!(prog.verify_converted(), vec!["a"]);
+    }
+
+    #[test]
+    fn spine_unwinds_applications() {
+        let e = CoreExpr::apps(
+            CoreExpr::Var("f".into()),
+            vec![CoreExpr::Var("x".into()), CoreExpr::Var("y".into())],
+        );
+        let (head, args) = e.spine();
+        assert_eq!(head, &CoreExpr::Var("f".into()));
+        assert_eq!(
+            args,
+            vec![&CoreExpr::Var("x".into()), &CoreExpr::Var("y".into())]
+        );
+        let atom = CoreExpr::Lit(Literal::Int(1));
+        assert_eq!(atom.spine(), (&atom, vec![]));
     }
 
     #[test]

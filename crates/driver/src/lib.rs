@@ -13,7 +13,11 @@
 //!    class contexts, inserting dictionary placeholders, then the
 //!    conversion pass that spells each placeholder out as a parameter
 //!    reference, superclass projection, or instance application;
-//! 4. **evaluation** ([`tc_eval`]) — the lazy core interpreter runs
+//! 4. **lint** ([`tc_lint`], via [`lint_source`] only) — the
+//!    whole-program static-analysis pass over the surface AST, class
+//!    environment, and converted core, with per-rule allow/warn/deny
+//!    levels ([`Options::lint_levels`]);
+//! 5. **evaluation** ([`tc_eval`]) — the lazy core interpreter runs
 //!    `main` under an explicit [`Budget`] (fuel, nesting depth,
 //!    allocation cap), so even adversarial programs terminate with a
 //!    structured [`EvalError`].
@@ -36,8 +40,12 @@
 use tc_classes::{build_class_env, ReduceBudget};
 use tc_core::{elaborate, Elaboration};
 use tc_eval::{Budget, EvalError};
+use tc_lint::LintInput;
 use tc_syntax::{Diagnostics, ParseOptions};
 use tc_types::VarGen;
+
+pub use tc_lint::{LintConfig, Rule as LintRule};
+pub use tc_syntax::LintLevel;
 
 /// The prelude source spliced in front of user programs.
 pub const PRELUDE: &str = include_str!("prelude.mh");
@@ -54,6 +62,10 @@ pub struct Options {
     pub reduce: ReduceBudget,
     /// Evaluator budget (fuel, nesting depth, allocation cap).
     pub budget: Budget,
+    /// Per-rule lint levels, used by [`lint_source`]. Rules left at
+    /// their default warn; `deny` escalates findings to errors (so
+    /// [`Check::ok`] fails), `allow` silences a rule.
+    pub lint_levels: LintConfig,
 }
 
 impl Default for Options {
@@ -63,6 +75,7 @@ impl Default for Options {
             parse: ParseOptions::default(),
             reduce: ReduceBudget::default(),
             budget: Budget::default(),
+            lint_levels: LintConfig::default(),
         }
     }
 }
@@ -104,9 +117,11 @@ impl Check {
         !self.diags.has_errors()
     }
 
-    /// Render every diagnostic against the compiled source.
+    /// Render every diagnostic against the compiled source, in source
+    /// order (errors before warnings at the same location) with a
+    /// severity summary line.
     pub fn render_diagnostics(&self) -> String {
-        self.diags.render_all(&self.full_source)
+        self.diags.render_all_sorted(&self.full_source)
     }
 
     /// The inferred type scheme of a top-level binding, rendered.
@@ -148,9 +163,8 @@ pub struct RunResult {
     pub outcome: Outcome,
 }
 
-/// Compile source text through elaboration and dictionary conversion.
-/// Never panics; all failures are reported in [`Check::diags`].
-pub fn check_source(src: &str, opts: &Options) -> Check {
+/// Shared pipeline body behind [`check_source`] and [`lint_source`].
+fn compile(src: &str, opts: &Options, lint: bool) -> Check {
     let (full_source, user_offset) = if opts.use_prelude {
         (format!("{PRELUDE}\n{src}"), PRELUDE.len() + 1)
     } else {
@@ -164,6 +178,17 @@ pub fn check_source(src: &str, opts: &Options) -> Check {
     diags.extend(cd);
     let (elab, ed) = elaborate(&prog, &cenv, &mut gen, opts.reduce);
     diags.extend(ed);
+    if lint {
+        diags.extend(tc_lint::run_lints(
+            &LintInput {
+                program: &prog,
+                cenv: &cenv,
+                core: &elab.core,
+                user_start: user_offset,
+            },
+            &opts.lint_levels,
+        ));
+    }
     Check {
         full_source,
         user_offset,
@@ -172,10 +197,24 @@ pub fn check_source(src: &str, opts: &Options) -> Check {
     }
 }
 
-/// Compile and, if the program is error-free and has a `main`, run it
-/// under the evaluator budget.
-pub fn run_source(src: &str, opts: &Options) -> RunResult {
-    let check = check_source(src, opts);
+/// Compile source text through elaboration and dictionary conversion.
+/// Never panics; all failures are reported in [`Check::diags`].
+pub fn check_source(src: &str, opts: &Options) -> Check {
+    compile(src, opts, false)
+}
+
+/// Like [`check_source`], but additionally run the `tc-lint`
+/// static-analysis pass over the surface AST, the class environment,
+/// and the converted core, at the levels in [`Options::lint_levels`].
+/// Warn-level findings never make [`Check::ok`] fail; deny-level
+/// findings do.
+pub fn lint_source(src: &str, opts: &Options) -> Check {
+    compile(src, opts, true)
+}
+
+/// Run an already-compiled program: if it is error-free and has a
+/// `main`, evaluate it under the evaluator budget.
+pub fn run_checked(check: Check, opts: &Options) -> RunResult {
     let outcome = if !check.ok() {
         Outcome::CompileErrors
     } else {
@@ -188,6 +227,12 @@ pub fn run_source(src: &str, opts: &Options) -> RunResult {
         }
     };
     RunResult { check, outcome }
+}
+
+/// Compile and, if the program is error-free and has a `main`, run it
+/// under the evaluator budget.
+pub fn run_source(src: &str, opts: &Options) -> RunResult {
+    run_checked(check_source(src, opts), opts)
 }
 
 #[cfg(test)]

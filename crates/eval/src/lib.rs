@@ -30,6 +30,7 @@
 //! environment) never recurses deeply and never leaks.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![deny(clippy::panic)]
 
 use std::cell::RefCell;

@@ -1,0 +1,251 @@
+//! `L0004` / `L0005` — binding-hygiene lints over the surface AST.
+//!
+//! * **Unused binding** (`L0004`): a lambda parameter or local `let`
+//!   binding that is never referenced. Parameters spelled with a
+//!   leading underscore (`_acc`) are exempt — that is the conventional
+//!   "intentionally unused" marker.
+//! * **Shadowed binding** (`L0005`): a lambda parameter or `let`
+//!   binding that re-binds a name already in scope — an enclosing
+//!   local, a top-level definition, or a class method. Shadowing is
+//!   legal (inner-most wins) but a classic source of
+//!   wrong-variable bugs in curried code.
+//!
+//! Scoping here mirrors the elaborator exactly: lambda parameters
+//! scope over their body, `let` groups are mutually recursive (every
+//! name scopes over all right-hand sides and the body). A `let`
+//! binding counts as used if the body or a *sibling* right-hand side
+//! references it; a binding referenced only by itself is still dead.
+
+use crate::{Emitter, LintInput, Rule};
+use std::collections::HashMap;
+use tc_syntax::{Expr, Span};
+
+pub(crate) fn check(input: &LintInput<'_>, em: &mut Emitter<'_>) {
+    if !em.enabled(Rule::UnusedBinding) && !em.enabled(Rule::ShadowedBinding) {
+        return;
+    }
+    // Top-level names a local binding can shadow: program bindings and
+    // class methods. (Shadowing *builtins* is already reported by the
+    // elaborator as E0414, so it is not duplicated here.)
+    let mut globals: HashMap<&str, Span> = HashMap::new();
+    for c in &input.program.classes {
+        for m in &c.methods {
+            globals.insert(&m.name, m.span);
+        }
+    }
+    for b in &input.program.bindings {
+        globals.insert(&b.name, b.span);
+    }
+    let mut walker = Walker {
+        globals,
+        scope: Vec::new(),
+        em,
+    };
+    for b in &input.program.bindings {
+        walker.walk(&b.expr);
+    }
+    for inst in &input.program.instances {
+        for m in &inst.methods {
+            walker.walk(&m.expr);
+        }
+    }
+}
+
+struct Walker<'a, 'e, 'c> {
+    globals: HashMap<&'a str, Span>,
+    /// Innermost binding last; spans point at the binder.
+    scope: Vec<(&'a str, Span)>,
+    em: &'e mut Emitter<'c>,
+}
+
+impl<'a> Walker<'a, '_, '_> {
+    fn walk(&mut self, e: &'a Expr) {
+        match e {
+            Expr::Var(..) | Expr::Con(..) | Expr::IntLit(..) | Expr::Hole(..) => {}
+            Expr::App(f, x, _) => {
+                self.walk(f);
+                self.walk(x);
+            }
+            Expr::If(c, t, f, _) => {
+                self.walk(c);
+                self.walk(t);
+                self.walk(f);
+            }
+            Expr::Lam(p, body, span) => {
+                self.check_shadow(p, *span, "parameter");
+                if self.em.enabled(Rule::UnusedBinding) && !p.starts_with('_') && !uses(body, p) {
+                    self.em.report(
+                        Rule::UnusedBinding,
+                        *span,
+                        format!("parameter `{p}` is never used (rename it `_{p}` if intentional)"),
+                    );
+                }
+                self.scope.push((p, *span));
+                self.walk(body);
+                self.scope.pop();
+            }
+            Expr::Let(binds, body, _) => {
+                for b in binds {
+                    self.check_shadow(&b.name, b.span, "`let` binding");
+                }
+                for b in binds {
+                    self.scope.push((&b.name, b.span));
+                }
+                for b in binds {
+                    self.walk(&b.expr);
+                }
+                self.walk(body);
+                self.scope.truncate(self.scope.len() - binds.len());
+                if self.em.enabled(Rule::UnusedBinding) {
+                    for (i, b) in binds.iter().enumerate() {
+                        if b.name.starts_with('_') {
+                            continue;
+                        }
+                        let used = uses(body, &b.name)
+                            || binds
+                                .iter()
+                                .enumerate()
+                                .any(|(j, sib)| j != i && uses(&sib.expr, &b.name));
+                        if !used {
+                            self.em.report(
+                                Rule::UnusedBinding,
+                                b.span,
+                                format!("local binding `{}` is never used", b.name),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn check_shadow(&mut self, name: &str, span: Span, what: &str) {
+        if !self.em.enabled(Rule::ShadowedBinding) {
+            return;
+        }
+        if let Some(&(_, prev)) = self.scope.iter().rev().find(|(n, _)| *n == name) {
+            self.em.report_with(
+                Rule::ShadowedBinding,
+                span,
+                format!("{what} `{name}` shadows an enclosing binding of the same name"),
+                vec![(Some(prev), "the shadowed binding is introduced here".into())],
+            );
+        } else if let Some(&prev) = self.globals.get(name) {
+            self.em.report_with(
+                Rule::ShadowedBinding,
+                span,
+                format!("{what} `{name}` shadows the top-level definition of the same name"),
+                vec![(Some(prev), "the shadowed definition is here".into())],
+            );
+        }
+    }
+}
+
+/// Does `e` reference `name` as a free variable? Iterative; descent
+/// stops wherever `name` is re-bound.
+fn uses(e: &Expr, name: &str) -> bool {
+    let mut stack = vec![e];
+    while let Some(x) = stack.pop() {
+        match x {
+            Expr::Var(n, _) => {
+                if n == name {
+                    return true;
+                }
+            }
+            Expr::Con(..) | Expr::IntLit(..) | Expr::Hole(..) => {}
+            Expr::App(f, a, _) => {
+                stack.push(f);
+                stack.push(a);
+            }
+            Expr::If(c, t, f, _) => {
+                stack.push(c);
+                stack.push(t);
+                stack.push(f);
+            }
+            Expr::Lam(p, body, _) => {
+                if p != name {
+                    stack.push(body);
+                }
+            }
+            Expr::Let(binds, body, _) => {
+                // A `let` group re-binding `name` shields its whole
+                // extent (right-hand sides included — they see the
+                // local binding, not the outer one).
+                if binds.iter().all(|b| b.name != name) {
+                    stack.push(body);
+                    for b in binds {
+                        stack.push(&b.expr);
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::testutil::codes;
+
+    #[test]
+    fn unused_parameter_fires() {
+        assert!(codes("f = \\x -> 1;").contains(&"L0004"));
+    }
+
+    #[test]
+    fn underscore_parameter_is_silent() {
+        assert!(!codes("f = \\_x -> 1;").contains(&"L0004"));
+    }
+
+    #[test]
+    fn used_parameter_is_silent() {
+        assert!(!codes("f = \\x -> x;").contains(&"L0004"));
+    }
+
+    #[test]
+    fn unused_let_binding_fires() {
+        assert!(codes("f = let { dead = 1 } in 2;").contains(&"L0004"));
+    }
+
+    #[test]
+    fn self_recursive_only_let_binding_fires() {
+        let c = codes("f = let { spin = \\x -> spin x } in 1;");
+        assert!(c.contains(&"L0004"), "{c:?}");
+    }
+
+    #[test]
+    fn let_binding_used_by_sibling_is_silent() {
+        let c = codes("f = let { a = 1; b = \\y -> primAddInt a y } in b 2;");
+        assert!(!c.contains(&"L0004"), "{c:?}");
+    }
+
+    #[test]
+    fn parameter_shadowing_parameter_fires() {
+        let c = codes("f x = \\x -> x;");
+        assert!(c.contains(&"L0005"), "{c:?}");
+    }
+
+    #[test]
+    fn parameter_shadowing_top_level_fires() {
+        let c = codes("f x = x;\ng = \\f -> f;");
+        assert!(c.contains(&"L0005"), "{c:?}");
+    }
+
+    #[test]
+    fn let_shadowing_parameter_fires() {
+        let c = codes("f x = let { x = 1 } in x;");
+        assert!(c.contains(&"L0005"), "{c:?}");
+    }
+
+    #[test]
+    fn method_shadowing_fires() {
+        let c = codes("class C a where { m :: a -> a; };\ng = \\m -> m;");
+        assert!(c.contains(&"L0005"), "{c:?}");
+    }
+
+    #[test]
+    fn distinct_names_are_silent() {
+        let c = codes("f x = \\y -> x;");
+        assert!(!c.contains(&"L0005"), "{c:?}");
+    }
+}

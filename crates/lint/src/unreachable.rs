@@ -1,0 +1,165 @@
+//! `L0006` — unreachable-arm lint over the typed core.
+//!
+//! The core has no pattern matching (lists are consumed through
+//! `null`/`head`/`tail`), so its "match arms" are `if` branches. An
+//! arm is provably dead in two situations:
+//!
+//! 1. the condition is a boolean *literal* (`if True then a else b` —
+//!    the `else` arm never runs);
+//! 2. the condition textually repeats a test made by an enclosing
+//!    `if` on the same branch path. The language is pure, so
+//!    re-evaluating the same expression yields the same value and the
+//!    arm contradicting the established polarity is unreachable.
+//!
+//! Path facts are invalidated conservatively when crossing a binder
+//! (`Lam`/`LetRec`) that re-binds a variable the condition mentions —
+//! inside the binder the condition refers to a different value.
+//!
+//! This runs *after* dictionary conversion, so it also sees method
+//! bodies inlined into instance dictionaries; core expressions carry
+//! no spans, so findings blame the enclosing top-level binding (or
+//! the instance declaration, for `$dict` constructors).
+
+use crate::{binding_spans, Emitter, LintInput, Rule};
+use tc_coreir::{CoreExpr, Literal};
+use tc_syntax::Span;
+
+pub(crate) fn check(input: &LintInput<'_>, em: &mut Emitter<'_>) {
+    if !em.enabled(Rule::UnreachableArm) {
+        return;
+    }
+    let spans = binding_spans(input);
+    for (name, expr) in &input.core.binds {
+        let span = spans.get(name).copied().unwrap_or(Span::DUMMY);
+        walk(expr, &[], name, span, em);
+    }
+}
+
+/// One established test on the current path: the condition expression
+/// and the branch (`true` = then-arm) we are inside.
+type Fact<'a> = (&'a CoreExpr, bool);
+
+fn walk<'a>(e: &'a CoreExpr, facts: &[Fact<'a>], name: &str, span: Span, em: &mut Emitter<'_>) {
+    match e {
+        CoreExpr::If(c, t, f) => {
+            walk(c, facts, name, span, em);
+            if let CoreExpr::Lit(Literal::Bool(b)) = &**c {
+                let arm = if *b { "`else`" } else { "`then`" };
+                em.report(
+                    Rule::UnreachableArm,
+                    span,
+                    format!(
+                        "in `{name}`: an `if` condition is always `{b}`, so its {arm} \
+                         arm is unreachable"
+                    ),
+                );
+                walk(t, facts, name, span, em);
+                walk(f, facts, name, span, em);
+            } else if let Some(&(_, pol)) = facts.iter().find(|(fc, _)| *fc == &**c) {
+                let arm = if pol { "`else`" } else { "`then`" };
+                em.report(
+                    Rule::UnreachableArm,
+                    span,
+                    format!(
+                        "in `{name}`: an `if` repeats a condition already known to be \
+                         `{pol}` on this path, so its {arm} arm is unreachable"
+                    ),
+                );
+                walk(t, facts, name, span, em);
+                walk(f, facts, name, span, em);
+            } else {
+                let mut then_facts = facts.to_vec();
+                then_facts.push((c, true));
+                walk(t, &then_facts, name, span, em);
+                let mut else_facts = facts.to_vec();
+                else_facts.push((c, false));
+                walk(f, &else_facts, name, span, em);
+            }
+        }
+        CoreExpr::Lam(p, body) => {
+            let kept: Vec<Fact<'a>> = facts
+                .iter()
+                .filter(|(fc, _)| !mentions(fc, std::slice::from_ref(p)))
+                .copied()
+                .collect();
+            walk(body, &kept, name, span, em);
+        }
+        CoreExpr::LetRec(binds, body) => {
+            let bound: Vec<String> = binds.iter().map(|(n, _)| n.clone()).collect();
+            let kept: Vec<Fact<'a>> = facts
+                .iter()
+                .filter(|(fc, _)| !mentions(fc, &bound))
+                .copied()
+                .collect();
+            for (_, v) in binds {
+                walk(v, &kept, name, span, em);
+            }
+            walk(body, &kept, name, span, em);
+        }
+        _ => {
+            let mut children = Vec::new();
+            e.push_children(&mut children);
+            for child in children {
+                walk(child, facts, name, span, em);
+            }
+        }
+    }
+}
+
+/// Does the expression mention any of `names` as a variable at all?
+/// Deliberately over-approximate (inner re-bindings are not tracked):
+/// dropping a fact too eagerly only suppresses a report, never
+/// fabricates one.
+fn mentions(e: &CoreExpr, names: &[String]) -> bool {
+    let mut stack = vec![e];
+    while let Some(x) = stack.pop() {
+        if let CoreExpr::Var(n) = x {
+            if names.iter().any(|m| m == n) {
+                return true;
+            }
+        }
+        x.push_children(&mut stack);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::testutil::codes;
+
+    #[test]
+    fn constant_condition_fires() {
+        assert!(codes("main = if True then 1 else 2;").contains(&"L0006"));
+    }
+
+    #[test]
+    fn repeated_condition_fires() {
+        let c = codes("f b = if b then 1 else (if b then 2 else 3);");
+        assert!(c.contains(&"L0006"), "{c:?}");
+    }
+
+    #[test]
+    fn repeated_condition_same_polarity_fires() {
+        let c = codes("f b = if b then (if b then 1 else 2) else 3;");
+        assert!(c.contains(&"L0006"), "{c:?}");
+    }
+
+    #[test]
+    fn distinct_conditions_are_silent() {
+        let c = codes("f a b = if a then (if b then 1 else 2) else 3;");
+        assert!(!c.contains(&"L0006"), "{c:?}");
+    }
+
+    #[test]
+    fn rebinding_invalidates_the_fact() {
+        // The inner `b` is a fresh parameter, not the tested one.
+        let c = codes("f b = if b then ((\\b -> if b then 1 else 2) False) else 3;");
+        assert!(!c.contains(&"L0006"), "{c:?}");
+    }
+
+    #[test]
+    fn guarded_recursion_is_silent() {
+        let c = codes("f n = if primLeInt n 0 then 0 else f (primSubInt n 1);\nmain = f 3;");
+        assert!(!c.contains(&"L0006"), "{c:?}");
+    }
+}

@@ -29,6 +29,7 @@ pub enum Stage {
     Classes,
     TypeCheck,
     DictConv,
+    Lint,
     Eval,
     Driver,
 }
@@ -41,10 +42,59 @@ impl fmt::Display for Stage {
             Stage::Classes => "classes",
             Stage::TypeCheck => "typecheck",
             Stage::DictConv => "dict",
+            Stage::Lint => "lint",
             Stage::Eval => "eval",
             Stage::Driver => "driver",
         };
         f.write_str(s)
+    }
+}
+
+/// How a lint rule's findings are reported. Shared between the lint
+/// pass itself and any configuration surface (driver options, CLI
+/// flags): `Allow` suppresses the rule entirely, `Warn` reports a
+/// [`Severity::Warning`], `Deny` escalates to [`Severity::Error`] so
+/// the finding fails compilation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LintLevel {
+    /// The rule is disabled; findings are not even computed.
+    Allow,
+    /// Findings are reported as warnings (the default everywhere).
+    #[default]
+    Warn,
+    /// Findings are reported as errors and fail the compilation.
+    Deny,
+}
+
+impl LintLevel {
+    /// The severity a finding at this level is reported with, or
+    /// `None` when the rule is allowed (silenced).
+    pub fn severity(self) -> Option<Severity> {
+        match self {
+            LintLevel::Allow => None,
+            LintLevel::Warn => Some(Severity::Warning),
+            LintLevel::Deny => Some(Severity::Error),
+        }
+    }
+
+    /// Parse a CLI-style level name (`allow` / `warn` / `deny`).
+    pub fn parse(s: &str) -> Option<LintLevel> {
+        match s {
+            "allow" => Some(LintLevel::Allow),
+            "warn" => Some(LintLevel::Warn),
+            "deny" => Some(LintLevel::Deny),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for LintLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LintLevel::Allow => "allow",
+            LintLevel::Warn => "warn",
+            LintLevel::Deny => "deny",
+        })
     }
 }
 
@@ -232,6 +282,15 @@ impl Diagnostics {
             + self.dropped
     }
 
+    /// Number of warnings currently held (dropped diagnostics are
+    /// counted as errors, never as warnings).
+    pub fn warning_count(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
     pub fn is_empty(&self) -> bool {
         self.items.is_empty() && self.dropped == 0
     }
@@ -259,12 +318,45 @@ impl Diagnostics {
         let lm = LineMap::new(src);
         let mut blocks: Vec<String> = self.items.iter().map(|d| d.render(src, &lm)).collect();
         if self.dropped > 0 {
+            blocks.push(Self::dropped_trailer(self.dropped));
+        }
+        blocks.join("\n")
+    }
+
+    /// Like [`render_all`](Self::render_all), but in source order:
+    /// diagnostics are sorted by span (errors before warnings at the
+    /// same location), and a severity summary line is appended. Stages
+    /// run one after another, so the raw accumulation order interleaves
+    /// a binding's type error with a lint warning pages away; sorting
+    /// lets a reader walk the file top to bottom.
+    pub fn render_all_sorted(&self, src: &str) -> String {
+        let lm = LineMap::new(src);
+        let mut sorted: Vec<&Diagnostic> = self.items.iter().collect();
+        sorted.sort_by_key(|d| {
+            (
+                d.span.start,
+                d.span.end,
+                std::cmp::Reverse(d.severity), // Error sorts before Warning
+            )
+        });
+        let mut blocks: Vec<String> = sorted.iter().map(|d| d.render(src, &lm)).collect();
+        if self.dropped > 0 {
+            blocks.push(Self::dropped_trailer(self.dropped));
+        }
+        if !blocks.is_empty() {
             blocks.push(format!(
-                "error[driver/E0000]: too many diagnostics; {} further diagnostic(s) suppressed",
-                self.dropped
+                "{} error(s), {} warning(s) emitted",
+                self.error_count(),
+                self.warning_count()
             ));
         }
         blocks.join("\n")
+    }
+
+    fn dropped_trailer(dropped: usize) -> String {
+        format!(
+            "error[driver/E0000]: too many diagnostics; {dropped} further diagnostic(s) suppressed"
+        )
     }
 }
 
@@ -290,6 +382,31 @@ mod tests {
         assert_eq!(bag.dropped(), 3);
         assert_eq!(bag.error_count(), 5);
         assert!(bag.has_errors());
+    }
+
+    #[test]
+    fn sorted_render_orders_by_span_and_labels_severity() {
+        let src = "line one\nline two\n";
+        let mut bag = Diagnostics::new();
+        bag.warning(Stage::Lint, "L0004", "later warning", Span::new(10, 13));
+        bag.error(Stage::TypeCheck, "E0405", "early error", Span::new(1, 4));
+        let r = bag.render_all_sorted(src);
+        let e = r.find("E0405").expect("error rendered");
+        let w = r.find("L0004").expect("warning rendered");
+        assert!(e < w, "sorted by span start: {r}");
+        assert!(r.contains("1 error(s), 1 warning(s) emitted"), "{r}");
+        assert_eq!(bag.warning_count(), 1);
+    }
+
+    #[test]
+    fn lint_level_severity_mapping() {
+        assert_eq!(LintLevel::Allow.severity(), None);
+        assert_eq!(LintLevel::Warn.severity(), Some(Severity::Warning));
+        assert_eq!(LintLevel::Deny.severity(), Some(Severity::Error));
+        assert_eq!(LintLevel::parse("deny"), Some(LintLevel::Deny));
+        assert_eq!(LintLevel::parse("nope"), None);
+        assert_eq!(LintLevel::default(), LintLevel::Warn);
+        assert_eq!(LintLevel::Warn.to_string(), "warn");
     }
 
     #[test]

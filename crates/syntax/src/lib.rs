@@ -16,6 +16,7 @@
 //! back as structured diagnostics.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![deny(clippy::panic)]
 
 pub mod ast;
@@ -26,7 +27,7 @@ pub mod span;
 pub mod token;
 
 pub use ast::*;
-pub use diag::{Diagnostic, Diagnostics, Severity, Stage};
+pub use diag::{Diagnostic, Diagnostics, LintLevel, Severity, Stage};
 pub use lexer::lex;
 pub use parser::{parse_program, ParseOptions};
 pub use span::Span;

@@ -440,8 +440,12 @@ impl<'t> Parser<'t> {
                     }
                     depth -= 1;
                 }
-                TokenKind::Arrow
-                | TokenKind::Equals
+                // An arrow at depth zero means we are inside a plain
+                // type (`Int -> Bool`), not a context. Inside parens it
+                // may be a function type *constrained by* the context
+                // (`C (a -> a) => ...`), so keep scanning.
+                TokenKind::Arrow if depth == 0 => return false,
+                TokenKind::Equals
                 | TokenKind::Semi
                 | TokenKind::Where
                 | TokenKind::LBrace
@@ -678,6 +682,20 @@ mod tests {
         let (prog, pdiags) = parse_program(&toks, ParseOptions::default());
         diags.extend(pdiags);
         (prog, diags)
+    }
+
+    #[test]
+    fn context_may_constrain_function_types() {
+        // The arrow inside the parenthesized constraint type must not
+        // stop the context lookahead.
+        let (prog, diags) = parse("instance C (a -> a) => C (List a) where { m = \\x -> x; };");
+        assert!(!diags.has_errors(), "{:?}", diags.into_vec());
+        assert_eq!(prog.instances.len(), 1);
+        assert_eq!(prog.instances[0].context.len(), 1);
+        // A plain parenthesized function type is still not a context.
+        let (prog2, diags2) = parse("f :: (Int -> Int) -> Int;\nf g = g 1;");
+        assert!(!diags2.has_errors(), "{:?}", diags2.into_vec());
+        assert!(prog2.sigs[0].qual_ty.context.is_empty());
     }
 
     #[test]

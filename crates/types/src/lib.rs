@@ -16,6 +16,7 @@
 //!   diagnostic, not a hang.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![deny(clippy::panic)]
 
 pub mod pred;

@@ -107,12 +107,21 @@ impl Type {
     }
 
     pub fn contains_var(&self, v: TyVar) -> bool {
+        self.occurrences(v) > 0
+    }
+
+    /// How many times `v` occurs in the type. Iterative, like the other
+    /// traversals; used by the Paterson-style termination analysis,
+    /// which compares variable multiplicities between an instance
+    /// context constraint and the instance head.
+    pub fn occurrences(&self, v: TyVar) -> usize {
+        let mut n = 0usize;
         let mut stack = vec![self];
         while let Some(t) = stack.pop() {
             match t {
                 Type::Var(w) => {
                     if *w == v {
-                        return true;
+                        n = n.saturating_add(1);
                     }
                 }
                 Type::Con(_) => {}
@@ -122,7 +131,7 @@ impl Type {
                 }
             }
         }
-        false
+        n
     }
 
     /// Number of constructors in the type — used as a work measure by
@@ -222,6 +231,14 @@ mod tests {
         assert!(fv.contains(&TyVar(1)) && fv.contains(&TyVar(2)));
         assert!(t.contains_var(TyVar(2)));
         assert!(!t.contains_var(TyVar(3)));
+    }
+
+    #[test]
+    fn occurrences_counts_multiplicity() {
+        let a = Type::Var(TyVar(0));
+        let t = Type::fun(a.clone(), Type::list(a.clone()));
+        assert_eq!(t.occurrences(TyVar(0)), 2);
+        assert_eq!(t.occurrences(TyVar(1)), 0);
     }
 
     #[test]

@@ -5,23 +5,50 @@
 //! echo 'main = member 3 (enumFromTo 1 5);' | cargo run --example run
 //! cargo run --example run -- --small program.mh   # tiny evaluator budget
 //! cargo run --example run -- --core program.mh    # dump converted core
+//! cargo run --example run -- --lint program.mh    # run the tc-lint pass
+//! cargo run --example run -- --deny-lints program.mh          # lints fail the build
+//! cargo run --example run -- --lint --lint-level=unused-binding=allow program.mh
 //! ```
 
 use std::io::Read;
 use std::process::ExitCode;
-use typeclasses::{run_source, Budget, Options, Outcome};
+use typeclasses::{run_checked, Budget, LintConfig, LintLevel, Options, Outcome};
+
+const USAGE: &str = "expected --small, --core, --no-prelude, --lint, --deny-lints, \
+                     or --lint-level=<rule>=<allow|warn|deny>";
 
 fn main() -> ExitCode {
     let mut opts = Options::default();
     let mut dump_core = false;
+    let mut lint = false;
     let mut path: Option<String> = None;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--small" => opts.budget = Budget::small(),
             "--core" => dump_core = true,
             "--no-prelude" => opts.use_prelude = false,
+            "--lint" => lint = true,
+            "--deny-lints" => {
+                lint = true;
+                opts.lint_levels = LintConfig::all(LintLevel::Deny);
+            }
+            _ if arg.starts_with("--lint-level=") => {
+                lint = true;
+                let spec = &arg["--lint-level=".len()..];
+                let ok = match spec.split_once('=') {
+                    Some((rule, level)) => opts.lint_levels.set_by_name(rule, level),
+                    None => false,
+                };
+                if !ok {
+                    eprintln!(
+                        "error: bad lint level `{spec}` \
+                         (expected <rule>=<allow|warn|deny>, e.g. unused-binding=allow)"
+                    );
+                    return ExitCode::from(2);
+                }
+            }
             _ if arg.starts_with('-') => {
-                eprintln!("error: unknown option `{arg}` (expected --small, --core, --no-prelude)");
+                eprintln!("error: unknown option `{arg}` ({USAGE})");
                 return ExitCode::from(2);
             }
             _ => path = Some(arg),
@@ -46,9 +73,14 @@ fn main() -> ExitCode {
         }
     };
 
-    let r = run_source(&src, &opts);
+    let check = if lint {
+        typeclasses::lint_source(&src, &opts)
+    } else {
+        typeclasses::check_source(&src, &opts)
+    };
+    let r = run_checked(check, &opts);
     if !r.check.diags.is_empty() {
-        eprint!("{}", r.check.render_diagnostics());
+        eprintln!("{}", r.check.render_diagnostics());
     }
     if dump_core {
         println!("{}", r.check.pretty_core());

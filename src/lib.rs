@@ -14,8 +14,13 @@ pub use tc_core as core_elab;
 pub use tc_coreir as coreir;
 pub use tc_driver as driver;
 pub use tc_eval as eval;
+pub use tc_lint as lint;
 pub use tc_syntax as syntax;
 pub use tc_types as types;
 
-pub use tc_driver::{check_source, run_source, Check, Options, Outcome, RunResult, PRELUDE};
+pub use tc_driver::{
+    check_source, lint_source, run_checked, run_source, Check, Options, Outcome, RunResult, PRELUDE,
+};
 pub use tc_eval::{Budget, EvalError};
+pub use tc_lint::{LintConfig, Rule};
+pub use tc_syntax::LintLevel;
