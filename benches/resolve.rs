@@ -1,0 +1,250 @@
+//! Benchmark for tabled instance resolution and dictionary sharing.
+//!
+//! This is a plain `fn main` harness (`harness = false`): the build
+//! environment is offline, so criterion is unavailable. It mirrors the
+//! criterion CLI just enough for CI:
+//!
+//! ```sh
+//! cargo bench --bench resolve            # full run
+//! cargo bench --bench resolve -- --test  # smoke mode (small iteration counts)
+//! ```
+//!
+//! Either way it writes `BENCH_resolve.json` to the current directory
+//! (the workspace root under cargo) with per-workload counters from
+//! [`tc_classes::ResolveStats`] and wall-clock times, and it *asserts*
+//! the headline acceptance numbers: on the deep instance tower the
+//! memo table must reach a >=90% hit rate and cut dictionary
+//! constructions by >=2x versus cache-off.
+//!
+//! Unknown flags are ignored: cargo itself passes `--bench` to
+//! harness-less bench binaries.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use typeclasses::classes::{build_class_env, ClassEnv, ReduceBudget, ResolveCache};
+use typeclasses::syntax::Span;
+use typeclasses::types::{Pred, Type, VarGen};
+use typeclasses::Options;
+
+/// Build a [`ClassEnv`] from Mini-Haskell class/instance declarations.
+fn env_from_source(src: &str) -> ClassEnv {
+    let (toks, diags) = typeclasses::syntax::lex(src);
+    assert!(!diags.has_errors(), "{}", diags.render_all(src));
+    let (prog, pd) = typeclasses::syntax::parse_program(&toks, Default::default());
+    assert!(!pd.has_errors(), "{}", pd.render_all(src));
+    let mut gen = VarGen::new();
+    let (cenv, cd) = build_class_env(&prog, &mut gen);
+    assert!(!cd.has_errors(), "{}", cd.render_all(src));
+    cenv
+}
+
+/// `List (List (... Int))`, `depth` lists deep.
+fn tower_type(depth: usize) -> Type {
+    let mut t = Type::int();
+    for _ in 0..depth {
+        t = Type::list(t);
+    }
+    t
+}
+
+#[derive(Default)]
+struct Row {
+    name: &'static str,
+    goals: u64,
+    table_hits: u64,
+    table_misses: u64,
+    dicts_constructed: u64,
+    dicts_constructed_off: u64,
+    hit_rate: f64,
+    construction_ratio: f64,
+    nanos_on: u128,
+    nanos_off: u128,
+}
+
+impl Row {
+    fn json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "    {{\n      \"name\": \"{}\",\n      \"goals\": {},\n      \
+             \"table_hits\": {},\n      \"table_misses\": {},\n      \
+             \"hit_rate\": {:.4},\n      \"dicts_constructed\": {},\n      \
+             \"dicts_constructed_cache_off\": {},\n      \
+             \"construction_ratio\": {:.2},\n      \
+             \"nanos_cache_on\": {},\n      \"nanos_cache_off\": {}\n    }}",
+            self.name,
+            self.goals,
+            self.table_hits,
+            self.table_misses,
+            self.hit_rate,
+            self.dicts_constructed,
+            self.dicts_constructed_off,
+            self.construction_ratio,
+            self.nanos_on,
+            self.nanos_off,
+        );
+        s
+    }
+}
+
+/// Resolve `pred` `iters` times against `cenv`, once with a shared memo
+/// table and once with the table disabled.
+fn bench_resolution(name: &'static str, cenv: &ClassEnv, pred: &Pred, iters: usize) -> Row {
+    let budget = ReduceBudget::default();
+
+    let mut cache = ResolveCache::new();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        cenv.resolve_with(pred, &[], budget, &mut cache)
+            .unwrap_or_else(|e| panic!("{name}: resolution failed: {e}"));
+    }
+    let nanos_on = t0.elapsed().as_nanos();
+    let on = cache.stats;
+
+    let mut off_cache = ResolveCache::disabled();
+    let t1 = Instant::now();
+    for _ in 0..iters {
+        cenv.resolve_with(pred, &[], budget, &mut off_cache)
+            .unwrap_or_else(|e| panic!("{name}: resolution failed: {e}"));
+    }
+    let nanos_off = t1.elapsed().as_nanos();
+    let off = off_cache.stats;
+
+    Row {
+        name,
+        goals: on.goals,
+        table_hits: on.table_hits,
+        table_misses: on.table_misses,
+        dicts_constructed: on.dicts_constructed,
+        dicts_constructed_off: off.dicts_constructed,
+        hit_rate: on.hit_rate(),
+        construction_ratio: off.dicts_constructed as f64 / on.dicts_constructed.max(1) as f64,
+        nanos_on,
+        nanos_off,
+    }
+}
+
+/// Compile one example program with the optimizations on vs off.
+fn bench_example(name: &'static str, src: &str) -> Row {
+    let on_opts = Options::default();
+    let t0 = Instant::now();
+    let on = typeclasses::check_source(src, &on_opts);
+    let nanos_on = t0.elapsed().as_nanos();
+    assert!(on.ok(), "{name}: {}", on.render_diagnostics());
+
+    let off_opts = Options::unoptimized();
+    let t1 = Instant::now();
+    let off = typeclasses::check_source(src, &off_opts);
+    let nanos_off = t1.elapsed().as_nanos();
+    assert!(off.ok(), "{name}: {}", off.render_diagnostics());
+
+    Row {
+        name,
+        goals: on.stats.resolve.goals,
+        table_hits: on.stats.resolve.table_hits,
+        table_misses: on.stats.resolve.table_misses,
+        dicts_constructed: on.stats.resolve.dicts_constructed,
+        dicts_constructed_off: off.stats.resolve.dicts_constructed,
+        hit_rate: on.stats.resolve.hit_rate(),
+        construction_ratio: off.stats.resolve.dicts_constructed as f64
+            / on.stats.resolve.dicts_constructed.max(1) as f64,
+        nanos_on,
+        nanos_off,
+    }
+}
+
+const TOWER_SRC: &str = "\
+    class Eq a where { eq :: a -> a -> Bool; };\n\
+    instance Eq Int where { eq = primEqInt; };\n\
+    instance Eq a => Eq (List a) where { eq = \\x y -> True; };\n";
+
+/// Eight sibling superclasses under one class, all instanced at Int.
+fn wide_super_source(width: usize) -> String {
+    let mut src = String::new();
+    for i in 0..width {
+        let _ = writeln!(src, "class S{i} a where {{ s{i} :: a -> Bool; }};");
+        let _ = writeln!(src, "instance S{i} Int where {{ s{i} = \\x -> True; }};");
+    }
+    let supers: Vec<String> = (0..width).map(|i| format!("S{i} a")).collect();
+    let _ = writeln!(
+        src,
+        "class ({}) => K a where {{ k :: a -> Bool; }};",
+        supers.join(", ")
+    );
+    let _ = writeln!(src, "instance K Int where {{ k = \\x -> True; }};");
+    src
+}
+
+fn main() {
+    // Cargo passes `--bench`; criterion uses `--test` for smoke mode.
+    // Ignore anything else so the harness never trips on runner flags.
+    let smoke = std::env::args().any(|a| a == "--test");
+    let iters = if smoke { 100 } else { 10_000 };
+
+    let sp = Span::DUMMY;
+    let mut rows = Vec::new();
+
+    // Deep instance tower: Eq (List^8 Int), resolved `iters` times.
+    let tower_env = env_from_source(TOWER_SRC);
+    let deep = Pred::new("Eq", tower_type(8), sp);
+    let row = bench_resolution("deep_tower_eq_list8_int", &tower_env, &deep, iters);
+    assert!(
+        row.hit_rate >= 0.90,
+        "deep tower hit rate {:.4} < 0.90",
+        row.hit_rate
+    );
+    assert!(
+        row.construction_ratio >= 2.0,
+        "deep tower construction ratio {:.2} < 2.0",
+        row.construction_ratio
+    );
+    rows.push(row);
+
+    // Wide superclass graph: K Int pulls in 8 sibling superclass dicts.
+    let wide_env = env_from_source(&wide_super_source(8));
+    let wide = Pred::new("K", Type::int(), sp);
+    rows.push(bench_resolution(
+        "wide_supers_k_int",
+        &wide_env,
+        &wide,
+        iters,
+    ));
+
+    // The three checked-in example programs, full pipeline on vs off.
+    for (name, path) in [
+        ("example_member", "examples/member.mh"),
+        ("example_maxlist", "examples/maxlist.mh"),
+        ("example_sumsquares", "examples/sumsquares.mh"),
+    ] {
+        let src = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read {path}: {e} (run from the workspace root)"));
+        rows.push(bench_example(name, &src));
+    }
+
+    let body: Vec<String> = rows.iter().map(Row::json).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"resolve\",\n  \"mode\": \"{}\",\n  \"iters\": {},\n  \
+         \"workloads\": [\n{}\n  ]\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        iters,
+        body.join(",\n")
+    );
+    std::fs::write("BENCH_resolve.json", &json).expect("cannot write BENCH_resolve.json");
+
+    for r in &rows {
+        println!(
+            "{:28} goals={:8} hits={:8} hit_rate={:6.2}% dicts on/off={}/{} ({:.1}x) \
+             time on/off={:.3}ms/{:.3}ms",
+            r.name,
+            r.goals,
+            r.table_hits,
+            r.hit_rate * 100.0,
+            r.dicts_constructed,
+            r.dicts_constructed_off,
+            r.construction_ratio,
+            r.nanos_on as f64 / 1e6,
+            r.nanos_off as f64 / 1e6,
+        );
+    }
+    println!("wrote BENCH_resolve.json");
+}

@@ -15,11 +15,43 @@
 //! conversion pass. This mirrors the tabled-resolution observation that
 //! instance search must be treated as a real (terminating) search
 //! procedure, not naive recursion.
+//!
+//! # Tabling
+//!
+//! On top of the budgeted search sits a **memo table**
+//! ([`ResolveCache`]), in the spirit of *Tabled Typeclass Resolution*:
+//! completed derivations for *pure* goals (ground types, no skolem
+//! constants) are recorded keyed by a hash-consed `(class, type)` pair
+//! ([`tc_types::Interner`]), so re-deriving `Eq (List (List Int))` at a
+//! second use site is a single O(1) lookup charged **one budget step**
+//! instead of a full backward-chaining search. Cycle detection is
+//! untouched: in-progress goals are never tabled, only completed ones,
+//! so the recursive-instance self-knot still resolves (and still
+//! reports cycles) exactly as without the table.
+//!
+//! Soundness of a table hit requires the cached derivation to be valid
+//! under the *current* assumption set, not the one it was derived
+//! under. Two guards ensure this, keeping cached resolution
+//! bit-identical to fresh resolution:
+//!
+//! * only derivations that are **closed** (built purely from instance
+//!   constructors, no [`DictDeriv::FromParam`] /
+//!   [`DictDeriv::FromSuper`] references into the assumption list) are
+//!   stored;
+//! * the table is consulted only when every assumption in scope is in
+//!   head-normal form (variable-headed). A variable-headed assumption
+//!   can never discharge a ground goal — neither directly nor through
+//!   superclass projection, which preserves the constrained type — so
+//!   under this guard the instance-chaining portion of the search is
+//!   independent of the assumptions and safe to share.
+//!
+//! Failures are never cached: they are the cold path, and their
+//! diagnostics carry use-site spans that must be rebuilt per call.
 
 use crate::env::ClassEnv;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
-use tc_types::{Pred, Type};
+use tc_types::{Interner, NameId, Pred, Type, TypeId};
 
 /// Limits for one resolution / context-reduction call.
 #[derive(Debug, Clone, Copy)]
@@ -130,6 +162,106 @@ pub enum DictDeriv {
     },
 }
 
+impl DictDeriv {
+    /// Is the derivation built purely from instance constructors —
+    /// no references into a particular assumption list? Only closed
+    /// derivations are context-independent and safe to memoize.
+    pub fn is_closed(&self) -> bool {
+        let mut stack = vec![self];
+        while let Some(d) = stack.pop() {
+            match d {
+                DictDeriv::FromParam { .. } | DictDeriv::FromSuper { .. } => return false,
+                DictDeriv::FromInstance { args, .. } => stack.extend(args.iter()),
+            }
+        }
+        true
+    }
+}
+
+/// Counters describing one resolution session (typically one
+/// elaboration run). All monotone; rendered by the driver's `--stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResolveStats {
+    /// Goals entering [`Search::resolve`] (including subgoals).
+    pub goals: u64,
+    /// Goals answered by the memo table in O(1).
+    pub table_hits: u64,
+    /// Cacheable goals that had to be derived from scratch.
+    pub table_misses: u64,
+    /// `FromInstance` derivation nodes built fresh (each corresponds
+    /// to one dictionary-constructor application in the output).
+    pub dicts_constructed: u64,
+    /// Total budget steps consumed across all calls.
+    pub steps: u64,
+}
+
+impl ResolveStats {
+    /// Fraction of goals answered from the table, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.goals == 0 {
+            0.0
+        } else {
+            self.table_hits as f64 / self.goals as f64
+        }
+    }
+}
+
+/// One completed, closed derivation for a pure goal.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    deriv: DictDeriv,
+    /// Budget steps the original derivation consumed (≥ 1). A table
+    /// hit charges exactly one step, never more than this.
+    cost: usize,
+}
+
+/// The memo table for instance resolution: hash-consed goal keys to
+/// completed closed derivations, plus session counters. One cache is
+/// intended to live for a whole elaboration run (and may live longer —
+/// entries never go stale, because they are context-independent and
+/// class environments are immutable once built).
+#[derive(Debug, Default)]
+pub struct ResolveCache {
+    interner: Interner,
+    table: HashMap<(NameId, TypeId), CacheEntry>,
+    /// When `false`, the table is neither consulted nor populated but
+    /// counters still accumulate — the cache-off baseline.
+    pub enabled: bool,
+    pub stats: ResolveStats,
+}
+
+impl ResolveCache {
+    /// An active cache.
+    pub fn new() -> Self {
+        ResolveCache {
+            enabled: true,
+            ..Default::default()
+        }
+    }
+
+    /// A counters-only cache: never hits, never stores. Used for the
+    /// memo-off baseline so the same code path is measured both ways.
+    pub fn disabled() -> Self {
+        ResolveCache::default()
+    }
+
+    /// Number of tabled derivations.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// The cost (in budget steps) recorded for a goal, if tabled.
+    pub fn cost_of(&mut self, pred: &Pred) -> Option<usize> {
+        let class = self.interner.intern_name(&pred.class);
+        let ty = self.interner.intern(&pred.ty);
+        self.table.get(&(class, ty)).map(|e| e.cost)
+    }
+}
+
 struct Search<'e> {
     env: &'e ClassEnv,
     assumptions: &'e [Pred],
@@ -137,11 +269,36 @@ struct Search<'e> {
     steps: usize,
     /// Goals on the current derivation path (for cycle detection).
     in_progress: Vec<(String, Type)>,
+    cache: &'e mut ResolveCache,
+    /// Every assumption is head-normal-form (variable-headed), so no
+    /// pure goal can ever be discharged by one — the precondition for
+    /// consulting the table (see the module docs on soundness).
+    assumptions_hnf: bool,
 }
 
 impl<'e> Search<'e> {
+    fn new(
+        env: &'e ClassEnv,
+        assumptions: &'e [Pred],
+        budget: ReduceBudget,
+        cache: &'e mut ResolveCache,
+    ) -> Self {
+        let assumptions_hnf = assumptions.iter().all(|a| a.in_hnf());
+        Search {
+            env,
+            assumptions,
+            budget,
+            steps: 0,
+            in_progress: Vec::new(),
+            cache,
+            assumptions_hnf,
+        }
+    }
+
     fn resolve(&mut self, pred: &Pred, depth: usize) -> Result<DictDeriv, ResolveError> {
         self.steps += 1;
+        self.cache.stats.goals += 1;
+        self.cache.stats.steps += 1;
         if self.steps > self.budget.max_steps {
             return Err(ResolveError::BudgetExhausted {
                 pred: pred.clone(),
@@ -172,7 +329,30 @@ impl<'e> Search<'e> {
             return Err(ResolveError::UnknownClass { pred: pred.clone() });
         }
 
-        // 3. Cycle check before chaining through instances.
+        // 3. Memo table. Consulted only after the assumption checks
+        //    (which are per-call) and only for pure goals under an
+        //    all-HNF assumption set, so a hit is exactly what a fresh
+        //    instance-chaining search would have derived. A hit has
+        //    already been charged its single budget step above.
+        let cache_key = if self.cache.enabled && self.assumptions_hnf {
+            let class = self.cache.interner.intern_name(&pred.class);
+            let ty = self.cache.interner.intern(&pred.ty);
+            if self.cache.interner.is_pure(ty) {
+                if let Some(entry) = self.cache.table.get(&(class, ty)) {
+                    self.cache.stats.table_hits += 1;
+                    return Ok(entry.deriv.clone());
+                }
+                self.cache.stats.table_misses += 1;
+                Some((class, ty))
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        let steps_at_entry = self.steps;
+
+        // 4. Cycle check before chaining through instances.
         let key = (pred.class.clone(), pred.ty.clone());
         if self.in_progress.contains(&key) {
             let trail = self
@@ -186,7 +366,7 @@ impl<'e> Search<'e> {
             });
         }
 
-        // 4. Instance chaining.
+        // 5. Instance chaining.
         let Some((inst, subst)) = self.env.matching_instance(pred) else {
             return Err(ResolveError::NoInstance { pred: pred.clone() });
         };
@@ -216,7 +396,26 @@ impl<'e> Search<'e> {
         }
         self.in_progress.pop();
         result?;
-        Ok(DictDeriv::FromInstance { inst_id, args })
+        self.cache.stats.dicts_constructed += 1;
+        let deriv = DictDeriv::FromInstance { inst_id, args };
+
+        // 6. Table the completed derivation. `is_closed` re-checks
+        //    that no subgoal leaned on an assumption (belt and braces —
+        //    the HNF guard already rules it out for pure goals).
+        if let Some(key) = cache_key {
+            if deriv.is_closed() {
+                // The goal's own entry step plus everything below it.
+                let cost = (self.steps - steps_at_entry).saturating_add(1);
+                self.cache.table.insert(
+                    key,
+                    CacheEntry {
+                        deriv: deriv.clone(),
+                        cost,
+                    },
+                );
+            }
+        }
+        Ok(deriv)
     }
 
     /// BFS over superclass edges from each assumption, looking for
@@ -237,6 +436,7 @@ impl<'e> Search<'e> {
                 return None;
             }
             self.steps += 1;
+            self.cache.stats.steps += 1;
             let (cur, deriv) = queue[qi].clone();
             qi += 1;
             if !visited.insert((cur.class.clone(), cur.ty.clone())) {
@@ -263,20 +463,32 @@ impl<'e> Search<'e> {
 
 impl ClassEnv {
     /// Resolve `pred` to a dictionary recipe against `assumptions`
-    /// (the dictionary parameters in scope, in order).
+    /// (the dictionary parameters in scope, in order), without
+    /// memoization. Equivalent to [`ClassEnv::resolve_with`] against a
+    /// throwaway disabled cache.
     pub fn resolve(
         &self,
         pred: &Pred,
         assumptions: &[Pred],
         budget: ReduceBudget,
     ) -> Result<DictDeriv, ResolveError> {
-        let mut s = Search {
-            env: self,
-            assumptions,
-            budget,
-            steps: 0,
-            in_progress: Vec::new(),
-        };
+        let mut cache = ResolveCache::disabled();
+        self.resolve_with(pred, assumptions, budget, &mut cache)
+    }
+
+    /// Resolve `pred` against `assumptions`, consulting and populating
+    /// `cache`. Guaranteed to return exactly what [`ClassEnv::resolve`]
+    /// would — the table only short-circuits derivations that are
+    /// independent of the assumption set (see the module docs) — while
+    /// charging a tabled goal a single budget step.
+    pub fn resolve_with(
+        &self,
+        pred: &Pred,
+        assumptions: &[Pred],
+        budget: ReduceBudget,
+        cache: &mut ResolveCache,
+    ) -> Result<DictDeriv, ResolveError> {
+        let mut s = Search::new(self, assumptions, budget, cache);
         s.resolve(pred, 0)
     }
 
@@ -369,13 +581,8 @@ impl ClassEnv {
         assumptions: &[Pred],
         budget: ReduceBudget,
     ) -> Option<DictDeriv> {
-        let mut s = Search {
-            env: self,
-            assumptions,
-            budget,
-            steps: 0,
-            in_progress: Vec::new(),
-        };
+        let mut cache = ResolveCache::disabled();
+        let mut s = Search::new(self, assumptions, budget, &mut cache);
         s.via_supers(pred)
     }
 }
@@ -612,5 +819,149 @@ mod tests {
         let (kept, errs) = e.reduce_context(&preds, Default::default());
         assert!(kept.is_empty());
         assert!(matches!(errs[0], ResolveError::NoInstance { .. }));
+    }
+
+    /// `Eq (List^depth Int)`.
+    fn tower(depth: usize) -> Pred {
+        let mut t = Type::int();
+        for _ in 0..depth {
+            t = Type::list(t);
+        }
+        Pred::new("Eq", t, sp())
+    }
+
+    #[test]
+    fn tabled_resolution_agrees_with_fresh() {
+        let e = env();
+        let mut cache = ResolveCache::new();
+        for depth in [0, 1, 3, 5, 3, 1, 0] {
+            let goal = tower(depth);
+            let fresh = e.resolve(&goal, &[], Default::default());
+            let tabled = e.resolve_with(&goal, &[], Default::default(), &mut cache);
+            assert_eq!(fresh, tabled, "depth {depth}");
+        }
+        assert!(cache.stats.table_hits > 0, "{:?}", cache.stats);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn table_hit_costs_one_step() {
+        let e = env();
+        let mut cache = ResolveCache::new();
+        let goal = tower(6);
+        e.resolve_with(&goal, &[], Default::default(), &mut cache)
+            .unwrap();
+        let original_cost = cache.cost_of(&goal).expect("tabled");
+        assert!(original_cost > 1, "a tower derivation is multi-step");
+        // A second resolution fits in a one-step budget: pure lookup.
+        let tight = ReduceBudget {
+            max_depth: 64,
+            max_steps: 1,
+        };
+        let hit = e.resolve_with(&goal, &[], tight, &mut cache);
+        assert!(hit.is_ok(), "{hit:?}");
+        // Without the table the same budget is exhausted.
+        let fresh = e.resolve(&goal, &[], tight);
+        assert!(
+            matches!(fresh, Err(ResolveError::BudgetExhausted { .. })),
+            "{fresh:?}"
+        );
+    }
+
+    #[test]
+    fn cycle_detection_survives_tabling() {
+        let mut e = env();
+        if let Some(insts) = e.instances.get_mut("Eq") {
+            insts.push(Instance {
+                ast_index: 0,
+                id: 9,
+                preds: vec![Pred::new("Eq", Type::bool(), sp())],
+                head: Pred::new("Eq", Type::bool(), sp()),
+                span: sp(),
+            });
+        }
+        let mut cache = ResolveCache::new();
+        for _ in 0..2 {
+            let err = e
+                .resolve_with(
+                    &Pred::new("Eq", Type::bool(), sp()),
+                    &[],
+                    Default::default(),
+                    &mut cache,
+                )
+                .unwrap_err();
+            assert!(matches!(err, ResolveError::Cycle { .. }), "{err:?}");
+        }
+        // Failures are never tabled.
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats.table_hits, 0);
+    }
+
+    #[test]
+    fn non_pure_goals_are_not_tabled() {
+        let e = env();
+        let mut cache = ResolveCache::new();
+        let assump = [Pred::new("Eq", Type::Var(TyVar(7)), sp())];
+        let goal = Pred::new("Eq", Type::list(Type::Var(TyVar(7))), sp());
+        for _ in 0..3 {
+            let d = e
+                .resolve_with(&goal, &assump, Default::default(), &mut cache)
+                .unwrap();
+            assert_eq!(
+                d,
+                DictDeriv::FromInstance {
+                    inst_id: 1,
+                    args: vec![DictDeriv::FromParam { index: 0 }]
+                }
+            );
+        }
+        assert!(cache.is_empty(), "open derivations must not be tabled");
+        assert_eq!(cache.stats.table_hits, 0);
+    }
+
+    #[test]
+    fn ground_assumptions_bypass_the_table() {
+        // A ground (non-HNF) assumption can discharge a ground goal;
+        // the table must stand aside so cached and fresh resolution
+        // stay identical.
+        let e = env();
+        let mut cache = ResolveCache::new();
+        // Prime the table with the closed derivation.
+        let goal = Pred::new("Eq", Type::list(Type::int()), sp());
+        e.resolve_with(&goal, &[], Default::default(), &mut cache)
+            .unwrap();
+        assert!(!cache.is_empty());
+        // Now resolve the same goal with itself as a ground assumption:
+        // fresh resolution answers FromParam, and so must cached.
+        let assump = [goal.clone()];
+        let cached = e
+            .resolve_with(&goal, &assump, Default::default(), &mut cache)
+            .unwrap();
+        let fresh = e.resolve(&goal, &assump, Default::default()).unwrap();
+        assert_eq!(cached, DictDeriv::FromParam { index: 0 });
+        assert_eq!(cached, fresh);
+    }
+
+    #[test]
+    fn disabled_cache_counts_but_never_hits() {
+        let e = env();
+        let mut cache = ResolveCache::disabled();
+        for _ in 0..3 {
+            e.resolve_with(&tower(4), &[], Default::default(), &mut cache)
+                .unwrap();
+        }
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats.table_hits, 0);
+        assert_eq!(cache.stats.dicts_constructed, 15, "{:?}", cache.stats);
+        assert!(cache.stats.goals >= 15);
+    }
+
+    #[test]
+    fn stats_hit_rate() {
+        let mut s = ResolveStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        s.goals = 10;
+        s.table_hits = 9;
+        assert!((s.hit_rate() - 0.9).abs() < 1e-9);
     }
 }

@@ -17,7 +17,8 @@
 //! node — the program still compiles to something that evaluates to a
 //! structured error, never a panic.
 
-use tc_classes::{ClassEnv, DictDeriv, ReduceBudget, ResolveError};
+use std::cell::RefCell;
+use tc_classes::{ClassEnv, DictDeriv, ReduceBudget, ResolveCache, ResolveError};
 use tc_coreir::{CoreExpr, PlaceholderKind, PlaceholderTable};
 use tc_syntax::{Diagnostics, Stage};
 use tc_types::{Pred, Subst, Type};
@@ -27,6 +28,10 @@ pub struct ConvertCtx<'a> {
     pub cenv: &'a ClassEnv,
     pub table: &'a PlaceholderTable,
     pub subst: &'a Subst,
+    /// The elaboration-wide resolution memo table, shared across every
+    /// binding so a dictionary proved once is proved once. Interior
+    /// mutability because conversion contexts are otherwise read-only.
+    pub cache: &'a RefCell<ResolveCache>,
     /// Dictionary assumptions in scope (zonked), in parameter order.
     pub assumptions: Vec<Pred>,
     /// Parameter names, parallel to `assumptions`.
@@ -46,7 +51,13 @@ impl ConvertCtx<'_> {
     /// pass resolves superclass slots directly.
     pub fn resolve_pred(&self, pred: &Pred, diags: &mut Diagnostics) -> CoreExpr {
         let zonked = pred.apply(self.subst);
-        match self.cenv.resolve(&zonked, &self.assumptions, self.budget) {
+        let resolved = self.cenv.resolve_with(
+            &zonked,
+            &self.assumptions,
+            self.budget,
+            &mut self.cache.borrow_mut(),
+        );
+        match resolved {
             Ok(deriv) => self.deriv_expr(&deriv),
             Err(e) => {
                 diags.error(

@@ -25,8 +25,9 @@
 //! variables, [`CoreExpr::Fail`] nodes); elaboration never panics and
 //! always produces a runnable — if possibly failing — core program.
 
+use std::cell::RefCell;
 use std::collections::{BTreeSet, HashMap, HashSet};
-use tc_classes::{lower_qual_type, ClassEnv, LowerCtx, ReduceBudget};
+use tc_classes::{lower_qual_type, ClassEnv, LowerCtx, ReduceBudget, ResolveCache, ResolveStats};
 use tc_coreir::{CoreExpr, CoreProgram, Literal, PlaceholderKind, PlaceholderTable};
 use tc_syntax::{Diagnostics, Expr, Program, Span, Stage};
 use tc_types::{Pred, Qual, Scheme, Subst, TyVar, Type, TypeErrorKind, VarGen};
@@ -41,6 +42,9 @@ use crate::scc::binding_groups;
 pub struct Elaboration {
     pub core: CoreProgram,
     pub schemes: HashMap<String, Scheme>,
+    /// Resolution counters for the whole run: goals attempted, memo
+    /// table hits, dictionaries constructed (see [`ResolveStats`]).
+    pub stats: ResolveStats,
 }
 
 struct Infer<'a> {
@@ -58,6 +62,9 @@ struct Infer<'a> {
     /// Lexical scope (lambda / let parameters), innermost last.
     locals: Vec<(String, Type)>,
     budget: ReduceBudget,
+    /// Memo table for instance resolution, shared by every conversion
+    /// in the run (see `tc_classes::ResolveCache`).
+    cache: RefCell<ResolveCache>,
     diags: Diagnostics,
     binds: Vec<(String, CoreExpr)>,
     /// Surface names of signature type variables, for readable rigid
@@ -262,6 +269,7 @@ impl Infer<'_> {
             cenv: self.cenv,
             table: &self.table,
             subst: &self.subst,
+            cache: &self.cache,
             assumptions,
             dict_params,
             group_members,
@@ -284,12 +292,27 @@ fn display_name(i: usize) -> String {
     }
 }
 
-/// Elaborate a whole program against a validated class environment.
+/// Elaborate a whole program against a validated class environment,
+/// with resolution memoization on (the production configuration).
 pub fn elaborate(
     program: &Program,
     cenv: &ClassEnv,
     gen: &mut VarGen,
     budget: ReduceBudget,
+) -> (Elaboration, Diagnostics) {
+    elaborate_with(program, cenv, gen, budget, true)
+}
+
+/// Elaborate with the resolution memo table explicitly on or off.
+/// Both configurations produce identical programs and diagnostics
+/// (pinned by the differential suite); `memoize = false` exists for
+/// baselines and differential testing.
+pub fn elaborate_with(
+    program: &Program,
+    cenv: &ClassEnv,
+    gen: &mut VarGen,
+    budget: ReduceBudget,
+    memoize: bool,
 ) -> (Elaboration, Diagnostics) {
     let mut inf = Infer {
         cenv,
@@ -301,6 +324,11 @@ pub fn elaborate(
         group_mono: HashMap::new(),
         locals: Vec::new(),
         budget,
+        cache: RefCell::new(if memoize {
+            ResolveCache::new()
+        } else {
+            ResolveCache::disabled()
+        }),
         diags: Diagnostics::new(),
         binds: Vec::new(),
         skolem_names: HashMap::new(),
@@ -560,6 +588,7 @@ pub fn elaborate(
                 main: has_main.then(|| "main".to_string()),
             },
             schemes,
+            stats: inf.cache.into_inner().stats,
         },
         inf.diags,
     )
@@ -606,6 +635,7 @@ fn elaborate_instances(inf: &mut Infer<'_>, program: &Program) {
                 cenv: inf.cenv,
                 table: &inf.table,
                 subst: &inf.subst,
+                cache: &inf.cache,
                 assumptions: sk_preds.clone(),
                 dict_params: iparams.clone(),
                 group_members: Vec::new(),

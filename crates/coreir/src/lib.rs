@@ -20,6 +20,10 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![deny(clippy::panic)]
 
+pub mod share;
+
+pub use share::{count_constructions, share_program, ShareStats};
+
 use std::collections::HashMap;
 use std::fmt;
 use tc_syntax::Span;

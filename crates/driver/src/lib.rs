@@ -38,12 +38,15 @@
 #![cfg_attr(not(test), deny(clippy::panic))]
 
 use tc_classes::{build_class_env, ReduceBudget};
-use tc_core::{elaborate, Elaboration};
+use tc_core::{elaborate_with, Elaboration};
+use tc_coreir::ShareStats;
 use tc_eval::{Budget, EvalError};
 use tc_lint::LintInput;
 use tc_syntax::{Diagnostics, ParseOptions};
 use tc_types::VarGen;
 
+pub use tc_classes::ResolveStats;
+pub use tc_coreir::ShareStats as DictShareStats;
 pub use tc_lint::{LintConfig, Rule as LintRule};
 pub use tc_syntax::LintLevel;
 
@@ -66,6 +69,14 @@ pub struct Options {
     /// their default warn; `deny` escalates findings to errors (so
     /// [`Check::ok`] fails), `allow` silences a rule.
     pub lint_levels: LintConfig,
+    /// Memoize instance resolution across the whole elaboration (the
+    /// tabled-resolution layer). On by default; the off switch exists
+    /// for baselines and the differential suite.
+    pub memoize_resolution: bool,
+    /// Hoist repeated compound-dictionary constructions into shared
+    /// bindings after conversion (and before linting, so `L0007` sees
+    /// the shared program). On by default.
+    pub share_dictionaries: bool,
 }
 
 impl Default for Options {
@@ -76,6 +87,8 @@ impl Default for Options {
             reduce: ReduceBudget::default(),
             budget: Budget::default(),
             lint_levels: LintConfig::default(),
+            memoize_resolution: true,
+            share_dictionaries: true,
         }
     }
 }
@@ -89,10 +102,52 @@ impl Options {
         }
     }
 
+    /// Options with the resolution memo table and dictionary sharing
+    /// both off — the unoptimized baseline the differential suite and
+    /// benches compare against.
+    pub fn unoptimized() -> Self {
+        Options {
+            memoize_resolution: false,
+            share_dictionaries: false,
+            ..Options::default()
+        }
+    }
+
     /// Replace the evaluator budget.
     pub fn with_budget(mut self, budget: Budget) -> Self {
         self.budget = budget;
         self
+    }
+}
+
+/// Counters from one pipeline run: instance resolution on the left,
+/// dictionary sharing on the right. Rendered by the example runner's
+/// `--stats` flag and serialized into bench reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PipelineStats {
+    pub resolve: ResolveStats,
+    pub share: ShareStats,
+}
+
+impl PipelineStats {
+    /// Hand-rolled JSON object (the build is offline — no serde).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"goals\": {}, \"table_hits\": {}, \"table_misses\": {}, \
+             \"hit_rate\": {:.4}, \"dicts_constructed\": {}, \"resolve_steps\": {}, \
+             \"dict_sites_before_sharing\": {}, \"dict_sites_after_sharing\": {}, \
+             \"dicts_shared\": {}, \"share_bindings\": {}}}",
+            self.resolve.goals,
+            self.resolve.table_hits,
+            self.resolve.table_misses,
+            self.resolve.hit_rate(),
+            self.resolve.dicts_constructed,
+            self.resolve.steps,
+            self.share.constructions_before,
+            self.share.constructions_after,
+            self.share.occurrences_shared,
+            self.share.hoisted_bindings,
+        )
     }
 }
 
@@ -109,6 +164,8 @@ pub struct Check {
     /// Accumulated diagnostics from lexing through dictionary
     /// conversion.
     pub diags: Diagnostics,
+    /// Resolution and sharing counters for this run.
+    pub stats: PipelineStats,
 }
 
 impl Check {
@@ -176,8 +233,17 @@ fn compile(src: &str, opts: &Options, lint: bool) -> Check {
     let mut gen = VarGen::new();
     let (cenv, cd) = build_class_env(&prog, &mut gen);
     diags.extend(cd);
-    let (elab, ed) = elaborate(&prog, &cenv, &mut gen, opts.reduce);
+    let (mut elab, ed) =
+        elaborate_with(&prog, &cenv, &mut gen, opts.reduce, opts.memoize_resolution);
     diags.extend(ed);
+    // Dictionary sharing runs between conversion and linting: `L0007`
+    // must see the shared program, or it would report constructions
+    // the pass has already hoisted.
+    let share = if opts.share_dictionaries {
+        tc_coreir::share_program(&mut elab.core)
+    } else {
+        ShareStats::default()
+    };
     if lint {
         diags.extend(tc_lint::run_lints(
             &LintInput {
@@ -189,11 +255,16 @@ fn compile(src: &str, opts: &Options, lint: bool) -> Check {
             &opts.lint_levels,
         ));
     }
+    let stats = PipelineStats {
+        resolve: elab.stats,
+        share,
+    };
     Check {
         full_source,
         user_offset,
         elab,
         diags,
+        stats,
     }
 }
 
@@ -369,5 +440,66 @@ mod tests {
         assert!(c.ok(), "{}", c.render_diagnostics());
         let core = c.pretty_core();
         assert!(core.contains("$dict"), "{core}");
+    }
+
+    #[test]
+    fn stats_are_populated_and_memo_hits() {
+        // The prelude alone resolves plenty of goals; with the memo
+        // table on, repeated ground goals hit.
+        let c = check_source(
+            "a = eq (cons 1 nil) nil;\nb = eq (cons 2 nil) nil;",
+            &Options::default(),
+        );
+        assert!(c.ok(), "{}", c.render_diagnostics());
+        assert!(c.stats.resolve.goals > 0);
+        assert!(c.stats.resolve.table_hits > 0, "{:?}", c.stats.resolve);
+        let off = check_source(
+            "a = eq (cons 1 nil) nil;\nb = eq (cons 2 nil) nil;",
+            &Options::unoptimized(),
+        );
+        assert_eq!(off.stats.resolve.table_hits, 0, "{:?}", off.stats.resolve);
+        assert!(
+            off.stats.resolve.dicts_constructed > c.stats.resolve.dicts_constructed,
+            "memoization must reduce fresh constructions: {:?} vs {:?}",
+            off.stats.resolve,
+            c.stats.resolve
+        );
+        // JSON rendering stays well-formed enough to eyeball.
+        let json = c.stats.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"table_hits\""), "{json}");
+    }
+
+    #[test]
+    fn sharing_hoists_repeated_dictionaries_in_core() {
+        let src = "p = eq (cons 1 nil) (cons 2 nil);\n\
+                   q = and (eq (cons 1 nil) nil) (eq (cons 3 nil) nil);";
+        let shared = check_source(src, &Options::default());
+        assert!(shared.ok(), "{}", shared.render_diagnostics());
+        assert!(
+            shared.stats.share.hoisted_bindings > 0,
+            "{:?}",
+            shared.stats.share
+        );
+        assert!(shared.pretty_core().contains("$sh0"), "no shared binding");
+        let unshared = check_source(src, &Options::unoptimized());
+        assert!(!unshared.pretty_core().contains("$sh0"));
+        assert!(
+            shared.stats.share.constructions_after < unshared.stats.share.constructions_before
+                || unshared.stats.share.constructions_before == 0,
+        );
+    }
+
+    #[test]
+    fn optimizations_do_not_change_results() {
+        let src = "main = and (eq (cons 1 (cons 2 nil)) (enumFromTo 1 2))\n\
+                   (eq (cons 1 (cons 2 nil)) (enumFromTo 1 2));";
+        let on = run_source(src, &Options::default());
+        let off = run_source(src, &Options::unoptimized());
+        let (Outcome::Value(a), Outcome::Value(b)) = (&on.outcome, &off.outcome) else {
+            panic!("{:?} / {:?}", on.outcome, off.outcome);
+        };
+        assert_eq!(a, b);
+        assert_eq!(a, "True");
     }
 }

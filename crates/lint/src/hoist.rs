@@ -19,6 +19,15 @@
 //! expression; two or more occurrences of a key is a finding. Nested
 //! dictionary arguments inside a counted spine are not counted again:
 //! hoisting the outermost construction already shares them.
+//!
+//! Pipeline ordering: the driver runs [`tc_coreir::share_program`] —
+//! the optimization this lint used to only *suggest* — between
+//! dictionary conversion and lint, so under default options every
+//! hoistable duplicate has already been rewritten into a single `$sh`
+//! let-binding and this rule is silent. It still fires when the
+//! sharing pass is disabled (`Options::share_dictionaries = false`),
+//! and on duplicates the pass cannot hoist (constructions whose free
+//! variables are bound locally, below the dictionary-lambda prefix).
 
 use crate::{binding_spans, Emitter, LintInput, Rule};
 use std::collections::HashMap;

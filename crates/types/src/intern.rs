@@ -1,0 +1,249 @@
+//! Hash-consed type representation.
+//!
+//! Instance resolution memoization needs a cheap, canonical key for a
+//! `(class, type)` goal. Comparing or hashing a structural [`Type`] is
+//! O(size of the type) — too slow for a table consulted on every goal
+//! of a deep instance tower. The [`Interner`] maps every distinct type
+//! (and every distinct name) to a dense `u32` id, sharing identical
+//! subtrees, so the memo key is two machine words and key comparison
+//! is two integer compares.
+//!
+//! Interning is structural and append-only: ids are stable for the
+//! lifetime of the interner, and interning the same type twice returns
+//! the same id. Alongside each node the interner records whether the
+//! node is *pure* — ground (no type variables) and free of rigid
+//! skolem constants (`$`-prefixed constructors). Only pure goals are
+//! safe to memoize across resolution calls: anything mentioning a
+//! variable or a signature skolem can be satisfied differently under
+//! different assumption sets.
+
+use crate::ty::Type;
+use std::collections::HashMap;
+
+/// Id of an interned name (type-constructor or class name).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NameId(pub u32);
+
+/// Id of an interned type node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TypeId(pub u32);
+
+/// One hash-consed node. Children are ids, so structural sharing is
+/// automatic: `List Int` inside `List (List Int)` is stored once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Node {
+    Var(u32),
+    Con(NameId),
+    App(TypeId, TypeId),
+    Fun(TypeId, TypeId),
+}
+
+/// The hash-consing table for types and names.
+#[derive(Debug, Default)]
+pub struct Interner {
+    nodes: Vec<Node>,
+    /// `pure[i]`: node `i` contains no type variables and no skolem
+    /// (`$`-prefixed) constructors.
+    pure: Vec<bool>,
+    node_map: HashMap<Node, TypeId>,
+    names: Vec<String>,
+    name_map: HashMap<String, NameId>,
+}
+
+impl Interner {
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Number of distinct type nodes interned so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Intern a name (class or constructor), returning its dense id.
+    pub fn intern_name(&mut self, name: &str) -> NameId {
+        if let Some(id) = self.name_map.get(name) {
+            return *id;
+        }
+        let id = NameId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.name_map.insert(name.to_string(), id);
+        id
+    }
+
+    /// The string behind a name id.
+    pub fn name(&self, id: NameId) -> Option<&str> {
+        self.names.get(id.0 as usize).map(|s| s.as_str())
+    }
+
+    fn mk(&mut self, node: Node, pure: bool) -> TypeId {
+        if let Some(id) = self.node_map.get(&node) {
+            return *id;
+        }
+        let id = TypeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.pure.push(pure);
+        self.node_map.insert(node, id);
+        id
+    }
+
+    /// Intern a structural type. Iterative post-order traversal:
+    /// recursion depth must not scale with type size (deep curried
+    /// chains are routine in adversarial inputs).
+    pub fn intern(&mut self, t: &Type) -> TypeId {
+        enum Frame<'a> {
+            Enter(&'a Type),
+            Exit(&'a Type),
+        }
+        let mut work = vec![Frame::Enter(t)];
+        let mut out: Vec<TypeId> = Vec::new();
+        while let Some(f) = work.pop() {
+            match f {
+                Frame::Enter(t) => match t {
+                    Type::Var(v) => {
+                        let id = self.mk(Node::Var(v.0), false);
+                        out.push(id);
+                    }
+                    Type::Con(n) => {
+                        let pure = !n.starts_with('$');
+                        let name = self.intern_name(n);
+                        let id = self.mk(Node::Con(name), pure);
+                        out.push(id);
+                    }
+                    Type::App(a, b) | Type::Fun(a, b) => {
+                        work.push(Frame::Exit(t));
+                        work.push(Frame::Enter(b));
+                        work.push(Frame::Enter(a));
+                    }
+                },
+                Frame::Exit(t) => {
+                    // Children were pushed left-then-right, so they pop
+                    // right-then-left.
+                    let (Some(b), Some(a)) = (out.pop(), out.pop()) else {
+                        // Unreachable by construction; keep total anyway.
+                        continue;
+                    };
+                    let pure = self.is_pure(a) && self.is_pure(b);
+                    let node = match t {
+                        Type::App(..) => Node::App(a, b),
+                        _ => Node::Fun(a, b),
+                    };
+                    let id = self.mk(node, pure);
+                    out.push(id);
+                }
+            }
+        }
+        out.pop().unwrap_or_else(|| {
+            // A non-empty traversal always leaves exactly one result;
+            // fall back to a throwaway node rather than panicking.
+            self.mk(Node::Var(u32::MAX), false)
+        })
+    }
+
+    /// Is the node ground and skolem-free (safe to memoize on)?
+    pub fn is_pure(&self, id: TypeId) -> bool {
+        self.pure.get(id.0 as usize).copied().unwrap_or(false)
+    }
+
+    /// Rebuild the structural type behind an id (test / debug aid).
+    /// Depth-recursive; interned types in practice are bounded by the
+    /// resolver's budget, and callers are non-production paths.
+    pub fn resolve(&self, id: TypeId) -> Option<Type> {
+        let node = *self.nodes.get(id.0 as usize)?;
+        match node {
+            Node::Var(v) => Some(Type::Var(crate::ty::TyVar(v))),
+            Node::Con(n) => Some(Type::Con(self.name(n)?.to_string())),
+            Node::App(a, b) => Some(Type::App(
+                Box::new(self.resolve(a)?),
+                Box::new(self.resolve(b)?),
+            )),
+            Node::Fun(a, b) => Some(Type::Fun(
+                Box::new(self.resolve(a)?),
+                Box::new(self.resolve(b)?),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ty::TyVar;
+
+    #[test]
+    fn interning_is_idempotent_and_shares_subtrees() {
+        let mut i = Interner::new();
+        let t = Type::list(Type::list(Type::int()));
+        let a = i.intern(&t);
+        let b = i.intern(&t);
+        assert_eq!(a, b);
+        // Nodes: List, Int, List Int, List (List Int) = 4 distinct.
+        assert_eq!(i.len(), 4);
+        // Interning the shared subtree allocates nothing new.
+        let inner = i.intern(&Type::list(Type::int()));
+        assert_eq!(i.len(), 4);
+        assert_ne!(inner, a);
+    }
+
+    #[test]
+    fn distinct_types_get_distinct_ids() {
+        let mut i = Interner::new();
+        let a = i.intern(&Type::fun(Type::int(), Type::bool()));
+        let b = i.intern(&Type::fun(Type::bool(), Type::int()));
+        let c = i.intern(&Type::list(Type::int()));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Fun and App with the same children are different nodes.
+        let d = i.intern(&Type::App(Box::new(Type::int()), Box::new(Type::bool())));
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn purity_tracks_vars_and_skolems() {
+        let mut i = Interner::new();
+        let ground = i.intern(&Type::list(Type::int()));
+        assert!(i.is_pure(ground));
+        let varry = i.intern(&Type::list(Type::Var(TyVar(0))));
+        assert!(!i.is_pure(varry));
+        let skolem = i.intern(&Type::list(Type::Con("$a".into())));
+        assert!(!i.is_pure(skolem));
+        let fun = i.intern(&Type::fun(Type::int(), Type::bool()));
+        assert!(i.is_pure(fun));
+    }
+
+    #[test]
+    fn names_intern_once() {
+        let mut i = Interner::new();
+        let a = i.intern_name("Eq");
+        let b = i.intern_name("Eq");
+        let c = i.intern_name("Ord");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(i.name(a), Some("Eq"));
+    }
+
+    #[test]
+    fn resolve_roundtrips() {
+        let mut i = Interner::new();
+        let t = Type::fun(Type::list(Type::Var(TyVar(3))), Type::bool());
+        let id = i.intern(&t);
+        assert_eq!(i.resolve(id), Some(t));
+    }
+
+    #[test]
+    fn deep_type_interns_iteratively() {
+        let mut t = Type::int();
+        for _ in 0..100_000 {
+            t = Type::fun(Type::int(), t);
+        }
+        let mut i = Interner::new();
+        let id = i.intern(&t);
+        assert!(i.is_pure(id));
+        // Dropping the deep Box chain recurses in rustc's Drop glue.
+        std::mem::forget(t);
+    }
+}

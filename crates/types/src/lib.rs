@@ -19,12 +19,14 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![deny(clippy::panic)]
 
+pub mod intern;
 pub mod pred;
 pub mod scheme;
 pub mod subst;
 pub mod ty;
 pub mod unify;
 
+pub use intern::{Interner, NameId, TypeId};
 pub use pred::{Pred, Qual};
 pub use scheme::Scheme;
 pub use subst::Subst;

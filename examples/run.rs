@@ -8,6 +8,8 @@
 //! cargo run --example run -- --lint program.mh    # run the tc-lint pass
 //! cargo run --example run -- --deny-lints program.mh          # lints fail the build
 //! cargo run --example run -- --lint --lint-level=unused-binding=allow program.mh
+//! cargo run --example run -- --stats program.mh   # resolution/sharing stats (JSON, stderr)
+//! cargo run --example run -- --no-memo --no-share program.mh  # disable the optimizations
 //! ```
 
 use std::io::Read;
@@ -15,18 +17,23 @@ use std::process::ExitCode;
 use typeclasses::{run_checked, Budget, LintConfig, LintLevel, Options, Outcome};
 
 const USAGE: &str = "expected --small, --core, --no-prelude, --lint, --deny-lints, \
+                     --stats, --no-memo, --no-share, \
                      or --lint-level=<rule>=<allow|warn|deny>";
 
 fn main() -> ExitCode {
     let mut opts = Options::default();
     let mut dump_core = false;
     let mut lint = false;
+    let mut stats = false;
     let mut path: Option<String> = None;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--small" => opts.budget = Budget::small(),
             "--core" => dump_core = true,
             "--no-prelude" => opts.use_prelude = false,
+            "--stats" => stats = true,
+            "--no-memo" => opts.memoize_resolution = false,
+            "--no-share" => opts.share_dictionaries = false,
             "--lint" => lint = true,
             "--deny-lints" => {
                 lint = true;
@@ -78,6 +85,9 @@ fn main() -> ExitCode {
     } else {
         typeclasses::check_source(&src, &opts)
     };
+    if stats {
+        eprintln!("{}", check.stats.to_json());
+    }
     let r = run_checked(check, &opts);
     if !r.check.diags.is_empty() {
         eprintln!("{}", r.check.render_diagnostics());

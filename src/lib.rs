@@ -19,7 +19,8 @@ pub use tc_syntax as syntax;
 pub use tc_types as types;
 
 pub use tc_driver::{
-    check_source, lint_source, run_checked, run_source, Check, Options, Outcome, RunResult, PRELUDE,
+    check_source, lint_source, run_checked, run_source, Check, Options, Outcome, PipelineStats,
+    RunResult, PRELUDE,
 };
 pub use tc_eval::{Budget, EvalError};
 pub use tc_lint::{LintConfig, Rule};

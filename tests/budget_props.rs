@@ -170,6 +170,125 @@ fn int_programs_evaluate_or_fail_structurally() {
     assert!(values >= 50, "only {values} of 150 programs evaluated");
 }
 
+// ---------------------------------------------------------------------
+// Properties of the resolution memo table (tabled resolution).
+// ---------------------------------------------------------------------
+
+use typeclasses::classes::{build_class_env, ClassEnv, ReduceBudget, ResolveCache};
+use typeclasses::syntax::Span;
+use typeclasses::types::{Pred, Type, VarGen};
+
+/// A random instance environment: `Eq Int` always; `Eq Bool` and
+/// `Eq a => Eq (List a)` each with 3/4 probability — so some ground
+/// goals fail, exercising the "failures are never cached" path — and
+/// sometimes a superclass layer `Eq a => Ord a` with `Ord` instances
+/// mirroring `Eq`'s.
+fn arbitrary_env(rng: &mut Rng) -> ClassEnv {
+    let mut src = String::from(
+        "class Eq a where { eq :: a -> a -> Bool; };\n\
+         instance Eq Int where { eq = primEqInt; };\n",
+    );
+    if rng.below(4) != 0 {
+        src.push_str("instance Eq Bool where { eq = primEqBool; };\n");
+    }
+    if rng.below(4) != 0 {
+        src.push_str("instance Eq a => Eq (List a) where { eq = \\x y -> True; };\n");
+    }
+    if rng.below(2) != 0 {
+        src.push_str(
+            "class Eq a => Ord a where { lte :: a -> a -> Bool; };\n\
+             instance Ord Int where { lte = primLeInt; };\n\
+             instance Ord a => Ord (List a) where { lte = \\x y -> True; };\n",
+        );
+    }
+    let (toks, ld) = typeclasses::syntax::lex(&src);
+    assert!(!ld.has_errors(), "{}", ld.render_all(&src));
+    let (prog, pd) = typeclasses::syntax::parse_program(&toks, Default::default());
+    assert!(!pd.has_errors(), "{}", pd.render_all(&src));
+    let mut gen = VarGen::new();
+    let (cenv, cd) = build_class_env(&prog, &mut gen);
+    assert!(!cd.has_errors(), "{}", cd.render_all(&src));
+    cenv
+}
+
+/// A random ground type: Int or Bool under 0..6 List wrappers.
+fn arbitrary_ground_type(rng: &mut Rng) -> Type {
+    let mut t = if rng.below(2) == 0 {
+        Type::int()
+    } else {
+        Type::bool()
+    };
+    for _ in 0..rng.below(7) {
+        t = Type::list(t);
+    }
+    t
+}
+
+/// A random goal over the classes `cenv` actually declares.
+fn arbitrary_goal(rng: &mut Rng, cenv: &ClassEnv) -> Pred {
+    let class = if cenv.class("Ord").is_some() && rng.below(3) == 0 {
+        "Ord"
+    } else {
+        "Eq"
+    };
+    Pred::new(class, arbitrary_ground_type(rng), Span::DUMMY)
+}
+
+#[test]
+fn cached_resolution_agrees_with_fresh() {
+    let mut rng = Rng::new(0x7AB1_E5EED);
+    let budget = ReduceBudget::default();
+    for _ in 0..30 {
+        let cenv = arbitrary_env(&mut rng);
+        let mut cache = ResolveCache::new();
+        for _ in 0..40 {
+            let pred = arbitrary_goal(&mut rng, &cenv);
+            let cached = cenv.resolve_with(&pred, &[], budget, &mut cache);
+            let fresh = cenv.resolve_with(&pred, &[], budget, &mut ResolveCache::disabled());
+            assert_eq!(
+                format!("{cached:?}"),
+                format!("{fresh:?}"),
+                "cached and fresh resolution disagree on `{pred}`"
+            );
+        }
+    }
+}
+
+#[test]
+fn table_hit_never_costs_more_than_original_derivation() {
+    let mut rng = Rng::new(0x0C0_57B0);
+    let budget = ReduceBudget::default();
+    for _ in 0..30 {
+        let cenv = arbitrary_env(&mut rng);
+        let mut cache = ResolveCache::new();
+        for _ in 0..40 {
+            let pred = arbitrary_goal(&mut rng, &cenv);
+            if cenv.resolve_with(&pred, &[], budget, &mut cache).is_err() {
+                assert_eq!(cache.cost_of(&pred), None, "failure was cached: `{pred}`");
+                continue;
+            }
+            let cost = cache
+                .cost_of(&pred)
+                .unwrap_or_else(|| panic!("success not cached: `{pred}`"));
+            assert!(cost >= 1, "recorded cost must cover the goal itself");
+            // A hit is answered within a single step of budget — i.e.
+            // never more than the original derivation consumed.
+            let steps_before = cache.stats.steps;
+            let tight = ReduceBudget {
+                max_depth: budget.max_depth,
+                max_steps: 1,
+            };
+            cenv.resolve_with(&pred, &[], tight, &mut cache)
+                .unwrap_or_else(|e| panic!("table hit exceeded one step on `{pred}`: {e}"));
+            let hit_steps = cache.stats.steps - steps_before;
+            assert!(
+                hit_steps as usize <= cost,
+                "hit consumed {hit_steps} steps > original cost {cost} on `{pred}`"
+            );
+        }
+    }
+}
+
 #[test]
 fn outcomes_are_deterministic() {
     let mut rng = Rng::new(0xDE7E_C7AB);

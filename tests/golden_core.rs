@@ -1,0 +1,92 @@
+//! Golden snapshots of the dictionary-converted, sharing-passed core
+//! for the checked-in example programs.
+//!
+//! These pin the *shape* of the output of the whole front half of the
+//! pipeline — placeholder conversion, instance dictionary construction,
+//! and the `$sh` bindings the sharing pass introduces — so an
+//! accidental change to dictionary layout or hoisting shows up as a
+//! readable diff, not a silent perf regression.
+//!
+//! Bless new snapshots with:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test golden_core
+//! ```
+
+use std::collections::HashSet;
+use typeclasses::{check_source, Options};
+
+/// Pretty-print the example's own bindings (prelude bindings are
+/// elided by compiling the empty program first and subtracting).
+fn user_core(src: &str) -> String {
+    let opts = Options::default();
+    let prelude_only = check_source("", &opts);
+    let prelude_names: HashSet<&str> = prelude_only
+        .elab
+        .core
+        .binds
+        .iter()
+        .map(|(n, _)| n.as_str())
+        .collect();
+    let check = check_source(src, &opts);
+    assert!(check.ok(), "{}", check.render_diagnostics());
+    let mut out = String::new();
+    for (name, expr) in &check.elab.core.binds {
+        if prelude_names.contains(name.as_str()) {
+            continue;
+        }
+        out.push_str(name);
+        out.push_str(" = ");
+        out.push_str(&typeclasses::coreir::pretty(expr));
+        out.push_str("\n\n");
+    }
+    out
+}
+
+fn check_golden(example: &str) {
+    let src_path = format!("examples/{example}.mh");
+    let golden_path = format!("tests/golden/{example}.core.txt");
+    let src = std::fs::read_to_string(&src_path).expect("example source");
+    let got = user_core(&src);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+        panic!("{golden_path}: {e}\nrun UPDATE_GOLDEN=1 cargo test --test golden_core to create")
+    });
+    assert_eq!(
+        got, want,
+        "\n--- core for {example} diverged from {golden_path}; \
+         if intentional, re-bless with UPDATE_GOLDEN=1 ---"
+    );
+}
+
+#[test]
+fn member_core_is_stable() {
+    check_golden("member");
+}
+
+#[test]
+fn maxlist_core_is_stable() {
+    check_golden("maxlist");
+}
+
+#[test]
+fn sumsquares_core_is_stable() {
+    check_golden("sumsquares");
+}
+
+#[test]
+fn goldens_reflect_the_sharing_pass() {
+    // The snapshots above are of the *optimized* pipeline; make the
+    // dependence explicit so nobody re-blesses them with sharing off.
+    // (Skipped while blessing: the snapshot may not be written yet.)
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        return;
+    }
+    let member = std::fs::read_to_string("tests/golden/member.core.txt").expect("golden");
+    // member.mh itself needs only one Eq Int dictionary, so no `$sh`
+    // binding is expected — but the dictionary constructor must appear.
+    assert!(member.contains("$dict"), "{member}");
+}

@@ -104,11 +104,29 @@ fn unreachable_arm_fires_end_to_end() {
 }
 
 #[test]
-fn repeated_dictionary_fires_end_to_end() {
+fn repeated_dictionary_fires_only_without_the_sharing_pass() {
     // Two list-equality uses at the same element type construct the
     // same `$dict…$Eq$List $dict…$Eq$Int` dictionary twice in `main`.
+    // The dictionary-sharing pass hoists that into one `$sh` binding
+    // *before* lint runs, so under default options L0007 stays silent —
+    // the pass is precisely the fix the lint used to suggest. With the
+    // pass disabled the duplicate construction is back in the program
+    // lint sees, and L0007 must fire. This pins the pipeline ordering:
+    // convert → share → lint.
     let src = "main = and (eq (cons 1 nil) (cons 1 nil)) (eq (cons 2 nil) (cons 2 nil));";
-    assert!(lint_codes(src).contains(&"L0007"), "{:?}", lint_codes(src));
+    let codes = lint_codes(src);
+    assert!(
+        !codes.contains(&"L0007"),
+        "sharing must pre-empt L0007: {codes:?}"
+    );
+
+    let opts = Options {
+        share_dictionaries: false,
+        ..Options::default()
+    };
+    let unshared = lint_source(src, &opts);
+    let codes: Vec<_> = unshared.diags.iter().map(|d| d.code).collect();
+    assert!(codes.contains(&"L0007"), "{codes:?}");
 }
 
 #[test]
