@@ -11,10 +11,15 @@
 //!
 //! Either way it writes `BENCH_resolve.json` to the current directory
 //! (the workspace root under cargo) with per-workload counters from
-//! [`tc_classes::ResolveStats`] and wall-clock times, and it *asserts*
-//! the headline acceptance numbers: on the deep instance tower the
-//! memo table must reach a >=90% hit rate and cut dictionary
+//! [`tc_classes::ResolveStats`], wall-clock times, and per-stage
+//! pipeline timings harvested from [`typeclasses::Telemetry`], and it
+//! *asserts* the headline acceptance numbers: on the deep instance
+//! tower the memo table must reach a >=90% hit rate and cut dictionary
 //! constructions by >=2x versus cache-off.
+//!
+//! The output is produced by [`typeclasses::JsonWriter`] and checked
+//! with `tc_trace::json::check` before it is written, so the bench
+//! artifact can never be malformed JSON.
 //!
 //! Unknown flags are ignored: cargo itself passes `--bench` to
 //! harness-less bench binaries.
@@ -24,7 +29,7 @@ use std::time::Instant;
 use typeclasses::classes::{build_class_env, ClassEnv, ReduceBudget, ResolveCache};
 use typeclasses::syntax::Span;
 use typeclasses::types::{Pred, Type, VarGen};
-use typeclasses::Options;
+use typeclasses::{JsonWriter, Options};
 
 /// Build a [`ClassEnv`] from Mini-Haskell class/instance declarations.
 fn env_from_source(src: &str) -> ClassEnv {
@@ -59,32 +64,36 @@ struct Row {
     construction_ratio: f64,
     nanos_on: u128,
     nanos_off: u128,
+    /// Per-stage pipeline timings `(stage name, duration in ns)`,
+    /// harvested from telemetry. Empty for raw-resolution workloads,
+    /// which never run the front end.
+    stages: Vec<(String, u64)>,
 }
 
 impl Row {
-    fn json(&self) -> String {
-        let mut s = String::new();
-        let _ = write!(
-            s,
-            "    {{\n      \"name\": \"{}\",\n      \"goals\": {},\n      \
-             \"table_hits\": {},\n      \"table_misses\": {},\n      \
-             \"hit_rate\": {:.4},\n      \"dicts_constructed\": {},\n      \
-             \"dicts_constructed_cache_off\": {},\n      \
-             \"construction_ratio\": {:.2},\n      \
-             \"nanos_cache_on\": {},\n      \"nanos_cache_off\": {}\n    }}",
-            self.name,
-            self.goals,
-            self.table_hits,
-            self.table_misses,
-            self.hit_rate,
-            self.dicts_constructed,
-            self.dicts_constructed_off,
-            self.construction_ratio,
-            self.nanos_on,
-            self.nanos_off,
-        );
-        s
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.field_str("name", self.name);
+        w.field_u64("goals", self.goals);
+        w.field_u64("table_hits", self.table_hits);
+        w.field_u64("table_misses", self.table_misses);
+        w.field_f64("hit_rate", self.hit_rate, 4);
+        w.field_u64("dicts_constructed", self.dicts_constructed);
+        w.field_u64("dicts_constructed_cache_off", self.dicts_constructed_off);
+        w.field_f64("construction_ratio", self.construction_ratio, 2);
+        w.field_u64("nanos_cache_on", saturate(self.nanos_on));
+        w.field_u64("nanos_cache_off", saturate(self.nanos_off));
+        w.begin_object_field("stage_nanos");
+        for (stage, ns) in &self.stages {
+            w.field_u64(stage, *ns);
+        }
+        w.end_object();
+        w.end_object();
     }
+}
+
+fn saturate(n: u128) -> u64 {
+    u64::try_from(n).unwrap_or(u64::MAX)
 }
 
 /// Resolve `pred` `iters` times against `cenv`, once with a shared memo
@@ -121,12 +130,19 @@ fn bench_resolution(name: &'static str, cenv: &ClassEnv, pred: &Pred, iters: usi
         construction_ratio: off.dicts_constructed as f64 / on.dicts_constructed.max(1) as f64,
         nanos_on,
         nanos_off,
+        stages: Vec::new(),
     }
 }
 
 /// Compile one example program with the optimizations on vs off.
+///
+/// The optimized run compiles with `trace_timing` enabled so the row
+/// carries per-stage timings from the pipeline's telemetry spans.
 fn bench_example(name: &'static str, src: &str) -> Row {
-    let on_opts = Options::default();
+    let on_opts = Options {
+        trace_timing: true,
+        ..Options::default()
+    };
     let t0 = Instant::now();
     let on = typeclasses::check_source(src, &on_opts);
     let nanos_on = t0.elapsed().as_nanos();
@@ -150,6 +166,12 @@ fn bench_example(name: &'static str, src: &str) -> Row {
             / on.stats.resolve.dicts_constructed.max(1) as f64,
         nanos_on,
         nanos_off,
+        stages: on
+            .telemetry
+            .spans()
+            .iter()
+            .map(|s| (s.stage.name().to_string(), s.duration_ns))
+            .collect(),
     }
 }
 
@@ -221,14 +243,20 @@ fn main() {
         rows.push(bench_example(name, &src));
     }
 
-    let body: Vec<String> = rows.iter().map(Row::json).collect();
-    let json = format!(
-        "{{\n  \"bench\": \"resolve\",\n  \"mode\": \"{}\",\n  \"iters\": {},\n  \
-         \"workloads\": [\n{}\n  ]\n}}\n",
-        if smoke { "smoke" } else { "full" },
-        iters,
-        body.join(",\n")
-    );
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("bench", "resolve");
+    w.field_str("mode", if smoke { "smoke" } else { "full" });
+    w.field_u64("iters", iters as u64);
+    w.begin_array_field("workloads");
+    for r in &rows {
+        r.write_json(&mut w);
+    }
+    w.end_array();
+    w.end_object();
+    let json = w.finish();
+    typeclasses::trace::json::check(&json)
+        .unwrap_or_else(|e| panic!("bench emitted malformed JSON: {e}"));
     std::fs::write("BENCH_resolve.json", &json).expect("cannot write BENCH_resolve.json");
 
     for r in &rows {

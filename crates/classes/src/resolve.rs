@@ -51,6 +51,7 @@
 use crate::env::ClassEnv;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use tc_trace::TraceNode;
 use tc_types::{Interner, NameId, Pred, Type, TypeId};
 
 /// Limits for one resolution / context-reduction call.
@@ -178,6 +179,38 @@ impl DictDeriv {
     }
 }
 
+/// Human description of a superclass-projection derivation for the
+/// explain-trace: which assumption it starts from and the slot path
+/// projected through. Falls back to a generic label for shapes
+/// `via_supers` cannot produce.
+fn describe_projection(d: &DictDeriv) -> String {
+    let mut slots: Vec<usize> = Vec::new();
+    let mut cur = d;
+    loop {
+        match cur {
+            DictDeriv::FromSuper { base, slot } => {
+                slots.push(*slot);
+                cur = base;
+            }
+            DictDeriv::FromParam { index } => {
+                if slots.is_empty() {
+                    return format!("assumption #{index}");
+                }
+                // Collected outermost-first; projections apply from the
+                // assumption outward.
+                slots.reverse();
+                let path = slots
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                return format!("superclass projection of assumption #{index} (slots [{path}])");
+            }
+            DictDeriv::FromInstance { .. } => return "superclass projection".to_string(),
+        }
+    }
+}
+
 /// Counters describing one resolution session (typically one
 /// elaboration run). All monotone; rendered by the driver's `--stats`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -213,6 +246,41 @@ struct CacheEntry {
     /// Budget steps the original derivation consumed (≥ 1). A table
     /// hit charges exactly one step, never more than this.
     cost: usize,
+    /// Sequence number (1-based, session-wide goal count) of the goal
+    /// whose derivation populated this entry. Explain-traces report it
+    /// so a memo hit can point back at the originating derivation.
+    origin: u64,
+}
+
+/// The explain-trace for one resolution session: one [`TraceNode`]
+/// tree per top-level goal, in resolution order. Child nodes are the
+/// instance-context subgoals of their parent. Labels carry the goal's
+/// session-wide sequence number (`[#n]`), the predicate, and how it
+/// was discharged — assumption, superclass projection, instance
+/// (marked `[tabled]` when its derivation entered the memo table), or
+/// memo hit with the originating goal's number.
+#[derive(Debug, Default)]
+pub struct ResolveTraceLog {
+    pub goals: Vec<TraceNode>,
+}
+
+impl ResolveTraceLog {
+    pub fn len(&self) -> usize {
+        self.goals.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.goals.is_empty()
+    }
+
+    /// Render every goal tree as an indented block, in order.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for goal in &self.goals {
+            goal.render_into(&mut out);
+        }
+        out
+    }
 }
 
 /// The memo table for instance resolution: hash-consed goal keys to
@@ -228,6 +296,9 @@ pub struct ResolveCache {
     /// counters still accumulate — the cache-off baseline.
     pub enabled: bool,
     pub stats: ResolveStats,
+    /// Explain-trace sink. `None` (the default) means tracing is off
+    /// and resolution allocates no trace structures at all.
+    pub trace: Option<Box<ResolveTraceLog>>,
 }
 
 impl ResolveCache {
@@ -260,6 +331,19 @@ impl ResolveCache {
         let ty = self.interner.intern(&pred.ty);
         self.table.get(&(class, ty)).map(|e| e.cost)
     }
+
+    /// Turn on explain-tracing: subsequent resolutions append one goal
+    /// tree per top-level goal to the trace log. Idempotent.
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Box::new(ResolveTraceLog::default()));
+        }
+    }
+
+    /// Detach the accumulated explain-trace (tracing turns off).
+    pub fn take_trace(&mut self) -> Option<ResolveTraceLog> {
+        self.trace.take().map(|b| *b)
+    }
 }
 
 struct Search<'e> {
@@ -274,6 +358,13 @@ struct Search<'e> {
     /// pure goal can ever be discharged by one — the precondition for
     /// consulting the table (see the module docs on soundness).
     assumptions_hnf: bool,
+    /// Snapshot of `cache.trace.is_some()`: explain-tracing is on.
+    /// When `false`, resolution takes one extra branch per goal and
+    /// builds nothing.
+    tracing: bool,
+    /// One frame per goal currently being resolved; each frame
+    /// collects the trace nodes of that goal's subgoals.
+    node_stack: Vec<Vec<TraceNode>>,
 }
 
 impl<'e> Search<'e> {
@@ -284,6 +375,7 @@ impl<'e> Search<'e> {
         cache: &'e mut ResolveCache,
     ) -> Self {
         let assumptions_hnf = assumptions.iter().all(|a| a.in_hnf());
+        let tracing = cache.trace.is_some();
         Search {
             env,
             assumptions,
@@ -292,13 +384,55 @@ impl<'e> Search<'e> {
             in_progress: Vec::new(),
             cache,
             assumptions_hnf,
+            tracing,
+            node_stack: Vec::new(),
         }
     }
 
+    /// Resolve one goal. With tracing off this is a tail call into
+    /// [`Search::resolve_step`]; with tracing on it brackets the step
+    /// with a subgoal-collection frame and records a [`TraceNode`]
+    /// labelled with the goal's sequence number, predicate, and how it
+    /// was (or failed to be) discharged.
     fn resolve(&mut self, pred: &Pred, depth: usize) -> Result<DictDeriv, ResolveError> {
+        if !self.tracing {
+            let mut via = None;
+            return self.resolve_step(pred, depth, &mut via);
+        }
+        // `resolve_step` increments the goal counter first thing, so
+        // this goal's sequence number is the next count.
+        let seq = self.cache.stats.goals + 1;
+        self.node_stack.push(Vec::new());
+        let mut via = None;
+        let result = self.resolve_step(pred, depth, &mut via);
+        let children = self.node_stack.pop().unwrap_or_default();
+        let outcome = match (&result, via) {
+            (Ok(_), Some(v)) => v,
+            (Ok(_), None) => "resolved".to_string(),
+            (Err(e), _) => format!("failed: {e}"),
+        };
+        let node = TraceNode::new(format!("[#{seq}] {pred}: {outcome}"), children);
+        if let Some(frame) = self.node_stack.last_mut() {
+            frame.push(node);
+        } else if let Some(log) = self.cache.trace.as_mut() {
+            log.goals.push(node);
+        }
+        result
+    }
+
+    /// The actual backward-chaining step behind [`Search::resolve`].
+    /// On success (and when tracing) `via` is set to a human
+    /// description of how the goal was discharged.
+    fn resolve_step(
+        &mut self,
+        pred: &Pred,
+        depth: usize,
+        via: &mut Option<String>,
+    ) -> Result<DictDeriv, ResolveError> {
         self.steps += 1;
         self.cache.stats.goals += 1;
         self.cache.stats.steps += 1;
+        let goal_seq = self.cache.stats.goals;
         if self.steps > self.budget.max_steps {
             return Err(ResolveError::BudgetExhausted {
                 pred: pred.clone(),
@@ -315,6 +449,9 @@ impl<'e> Search<'e> {
         // 1. Direct assumption?
         for (i, a) in self.assumptions.iter().enumerate() {
             if a.same_constraint(pred) {
+                if self.tracing {
+                    *via = Some(format!("assumption #{i} `{a}`"));
+                }
                 return Ok(DictDeriv::FromParam { index: i });
             }
         }
@@ -322,6 +459,9 @@ impl<'e> Search<'e> {
         // 2. Reachable from an assumption through superclass edges?
         //    (`class Eq a => Ord a` + assumption `Ord t` entails `Eq t`.)
         if let Some(d) = self.via_supers(pred) {
+            if self.tracing {
+                *via = Some(describe_projection(&d));
+            }
             return Ok(d);
         }
 
@@ -340,6 +480,9 @@ impl<'e> Search<'e> {
             if self.cache.interner.is_pure(ty) {
                 if let Some(entry) = self.cache.table.get(&(class, ty)) {
                     self.cache.stats.table_hits += 1;
+                    if self.tracing {
+                        *via = Some(format!("memo hit (derived at goal #{})", entry.origin));
+                    }
                     return Ok(entry.deriv.clone());
                 }
                 self.cache.stats.table_misses += 1;
@@ -371,6 +514,11 @@ impl<'e> Search<'e> {
             return Err(ResolveError::NoInstance { pred: pred.clone() });
         };
         let inst_id = inst.id;
+        let inst_head = if self.tracing {
+            Some(inst.head.to_string())
+        } else {
+            None
+        };
         let subgoals: Vec<Pred> = inst
             .preds
             .iter()
@@ -402,6 +550,7 @@ impl<'e> Search<'e> {
         // 6. Table the completed derivation. `is_closed` re-checks
         //    that no subgoal leaned on an assumption (belt and braces —
         //    the HNF guard already rules it out for pure goals).
+        let mut tabled = false;
         if let Some(key) = cache_key {
             if deriv.is_closed() {
                 // The goal's own entry step plus everything below it.
@@ -411,9 +560,18 @@ impl<'e> Search<'e> {
                     CacheEntry {
                         deriv: deriv.clone(),
                         cost,
+                        origin: goal_seq,
                     },
                 );
+                tabled = true;
             }
+        }
+        if self.tracing {
+            *via = Some(format!(
+                "instance #{inst_id} `{}`{}",
+                inst_head.unwrap_or_default(),
+                if tabled { " [tabled]" } else { "" }
+            ));
         }
         Ok(deriv)
     }
@@ -954,6 +1112,104 @@ mod tests {
         assert_eq!(cache.stats.table_hits, 0);
         assert_eq!(cache.stats.dicts_constructed, 15, "{:?}", cache.stats);
         assert!(cache.stats.goals >= 15);
+    }
+
+    #[test]
+    fn explain_trace_records_instances_and_memo_hits() {
+        let e = env();
+        let mut cache = ResolveCache::new();
+        cache.enable_trace();
+        // First derivation: full instance chain, tabled.
+        e.resolve_with(&tower(1), &[], Default::default(), &mut cache)
+            .unwrap();
+        // Second: answered by the table, with provenance.
+        e.resolve_with(&tower(1), &[], Default::default(), &mut cache)
+            .unwrap();
+        let log = cache.take_trace().expect("tracing was enabled");
+        assert!(cache.trace.is_none(), "take_trace turns tracing off");
+        assert_eq!(log.len(), 2, "{log:?}");
+        let rendered = log.render();
+        assert!(rendered.contains("Eq (List Int)"), "{rendered}");
+        assert!(rendered.contains("instance #1"), "{rendered}");
+        assert!(rendered.contains("[tabled]"), "{rendered}");
+        assert!(rendered.contains("instance #0"), "{rendered}");
+        // The second goal's node is a memo hit pointing at goal #1.
+        assert!(
+            rendered.contains("memo hit (derived at goal #1)"),
+            "{rendered}"
+        );
+        // The subgoal (Eq Int) is indented under its parent.
+        assert!(rendered.contains("\n  [#2]"), "{rendered}");
+    }
+
+    #[test]
+    fn explain_trace_records_assumptions_and_projections() {
+        let e = env();
+        let mut cache = ResolveCache::new();
+        cache.enable_trace();
+        let assump = [Pred::new("Ord", Type::Var(TyVar(5)), sp())];
+        e.resolve_with(&assump[0], &assump, Default::default(), &mut cache)
+            .unwrap();
+        e.resolve_with(
+            &Pred::new("Eq", Type::Var(TyVar(5)), sp()),
+            &assump,
+            Default::default(),
+            &mut cache,
+        )
+        .unwrap();
+        let rendered = cache.take_trace().expect("tracing on").render();
+        assert!(rendered.contains("assumption #0"), "{rendered}");
+        assert!(
+            rendered.contains("superclass projection of assumption #0 (slots [0])"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn explain_trace_records_failures() {
+        let e = env();
+        let mut cache = ResolveCache::new();
+        cache.enable_trace();
+        e.resolve_with(
+            &Pred::new("Eq", Type::bool(), sp()),
+            &[],
+            Default::default(),
+            &mut cache,
+        )
+        .unwrap_err();
+        let rendered = cache.take_trace().expect("tracing on").render();
+        assert!(
+            rendered.contains("failed: no instance for `Eq Bool`"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn tracing_off_allocates_no_trace_structures() {
+        let e = env();
+        let mut cache = ResolveCache::new();
+        e.resolve_with(&tower(3), &[], Default::default(), &mut cache)
+            .unwrap();
+        assert!(cache.trace.is_none());
+        assert!(cache.take_trace().is_none());
+    }
+
+    #[test]
+    fn traced_resolution_agrees_with_untraced() {
+        let e = env();
+        let mut traced = ResolveCache::new();
+        traced.enable_trace();
+        let mut plain = ResolveCache::new();
+        for depth in [0, 2, 4, 2, 0] {
+            let goal = tower(depth);
+            let a = e.resolve_with(&goal, &[], Default::default(), &mut traced);
+            let b = e.resolve_with(&goal, &[], Default::default(), &mut plain);
+            assert_eq!(a, b, "depth {depth}");
+        }
+        assert_eq!(
+            traced.stats, plain.stats,
+            "tracing must not perturb counters"
+        );
     }
 
     #[test]

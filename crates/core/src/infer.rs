@@ -27,7 +27,9 @@
 
 use std::cell::RefCell;
 use std::collections::{BTreeSet, HashMap, HashSet};
-use tc_classes::{lower_qual_type, ClassEnv, LowerCtx, ReduceBudget, ResolveCache, ResolveStats};
+use tc_classes::{
+    lower_qual_type, ClassEnv, LowerCtx, ReduceBudget, ResolveCache, ResolveStats, ResolveTraceLog,
+};
 use tc_coreir::{CoreExpr, CoreProgram, Literal, PlaceholderKind, PlaceholderTable};
 use tc_syntax::{Diagnostics, Expr, Program, Span, Stage};
 use tc_types::{Pred, Qual, Scheme, Subst, TyVar, Type, TypeErrorKind, VarGen};
@@ -45,6 +47,32 @@ pub struct Elaboration {
     /// Resolution counters for the whole run: goals attempted, memo
     /// table hits, dictionaries constructed (see [`ResolveStats`]).
     pub stats: ResolveStats,
+    /// Explain-trace of every instance resolution, present iff
+    /// [`ElabOptions::trace_resolution`] was set.
+    pub resolution_trace: Option<ResolveTraceLog>,
+}
+
+/// Knobs for one elaboration run.
+#[derive(Debug, Clone, Copy)]
+pub struct ElabOptions {
+    /// Budget for each resolution / context-reduction call.
+    pub budget: ReduceBudget,
+    /// Memoize instance resolution (the production configuration;
+    /// `false` exists for baselines and differential testing).
+    pub memoize: bool,
+    /// Record an explain-trace of every resolution goal. Off by
+    /// default; when off, no trace structures are allocated.
+    pub trace_resolution: bool,
+}
+
+impl Default for ElabOptions {
+    fn default() -> Self {
+        ElabOptions {
+            budget: ReduceBudget::default(),
+            memoize: true,
+            trace_resolution: false,
+        }
+    }
 }
 
 struct Infer<'a> {
@@ -300,20 +328,36 @@ pub fn elaborate(
     gen: &mut VarGen,
     budget: ReduceBudget,
 ) -> (Elaboration, Diagnostics) {
-    elaborate_with(program, cenv, gen, budget, true)
+    elaborate_with(
+        program,
+        cenv,
+        gen,
+        ElabOptions {
+            budget,
+            ..ElabOptions::default()
+        },
+    )
 }
 
-/// Elaborate with the resolution memo table explicitly on or off.
-/// Both configurations produce identical programs and diagnostics
-/// (pinned by the differential suite); `memoize = false` exists for
-/// baselines and differential testing.
+/// Elaborate with explicit [`ElabOptions`] — memo table on or off,
+/// resolution explain-tracing on or off. Memoized and unmemoized
+/// configurations produce identical programs and diagnostics (pinned
+/// by the differential suite); `memoize = false` exists for baselines
+/// and differential testing.
 pub fn elaborate_with(
     program: &Program,
     cenv: &ClassEnv,
     gen: &mut VarGen,
-    budget: ReduceBudget,
-    memoize: bool,
+    opts: ElabOptions,
 ) -> (Elaboration, Diagnostics) {
+    let mut cache = if opts.memoize {
+        ResolveCache::new()
+    } else {
+        ResolveCache::disabled()
+    };
+    if opts.trace_resolution {
+        cache.enable_trace();
+    }
     let mut inf = Infer {
         cenv,
         gen,
@@ -323,12 +367,8 @@ pub fn elaborate_with(
         globals: builtin_env(),
         group_mono: HashMap::new(),
         locals: Vec::new(),
-        budget,
-        cache: RefCell::new(if memoize {
-            ResolveCache::new()
-        } else {
-            ResolveCache::disabled()
-        }),
+        budget: opts.budget,
+        cache: RefCell::new(cache),
         diags: Diagnostics::new(),
         binds: Vec::new(),
         skolem_names: HashMap::new(),
@@ -469,7 +509,7 @@ pub fn elaborate_with(
             .flat_map(|(_, _, ps)| ps.iter())
             .map(|p| p.apply(&inf.subst))
             .collect();
-        let (retained, errors) = cenv.reduce_context(&all_preds, budget);
+        let (retained, errors) = cenv.reduce_context(&all_preds, opts.budget);
         for e in &errors {
             inf.diags
                 .error(Stage::TypeCheck, e.code(), e.to_string(), e.pred().span);
@@ -581,6 +621,7 @@ pub fn elaborate_with(
         })
         .collect();
 
+    let mut cache = inf.cache.into_inner();
     (
         Elaboration {
             core: CoreProgram {
@@ -588,7 +629,8 @@ pub fn elaborate_with(
                 main: has_main.then(|| "main".to_string()),
             },
             schemes,
-            stats: inf.cache.into_inner().stats,
+            stats: cache.stats,
+            resolution_trace: cache.take_trace(),
         },
         inf.diags,
     )

@@ -174,6 +174,18 @@ impl CoreExpr {
         None
     }
 
+    /// Number of IR nodes in the expression (iterative). Used by the
+    /// telemetry layer as a cheap size counter for the core program.
+    pub fn node_count(&self) -> u64 {
+        let mut n = 0u64;
+        let mut stack = vec![self];
+        while let Some(e) = stack.pop() {
+            n += 1;
+            e.push_children(&mut stack);
+        }
+        n
+    }
+
     /// The application spine of the expression: the head (the innermost
     /// function) and the arguments, outermost application last. A
     /// non-application returns itself with no arguments.
@@ -215,6 +227,11 @@ impl CoreProgram {
     /// Bindings as a map view (names are unique after elaboration).
     pub fn as_map(&self) -> HashMap<&str, &CoreExpr> {
         self.binds.iter().map(|(n, e)| (n.as_str(), e)).collect()
+    }
+
+    /// Total IR nodes across all bindings (telemetry size counter).
+    pub fn node_count(&self) -> u64 {
+        self.binds.iter().map(|(_, e)| e.node_count()).sum()
     }
 }
 
@@ -324,6 +341,27 @@ mod tests {
             main: None,
         };
         assert_eq!(prog.verify_converted(), vec!["a"]);
+    }
+
+    #[test]
+    fn node_count_counts_every_node() {
+        // (\x -> ((f x) y)) = Lam + App + App + Var f + Var x + Var y = 6
+        let e = CoreExpr::lams(
+            vec!["x".to_string()],
+            CoreExpr::apps(
+                CoreExpr::Var("f".into()),
+                vec![CoreExpr::Var("x".into()), CoreExpr::Var("y".into())],
+            ),
+        );
+        assert_eq!(e.node_count(), 6);
+        let prog = CoreProgram {
+            binds: vec![
+                ("a".into(), e),
+                ("b".into(), CoreExpr::Lit(Literal::Int(1))),
+            ],
+            main: None,
+        };
+        assert_eq!(prog.node_count(), 7);
     }
 
     #[test]

@@ -38,15 +38,17 @@
 #![cfg_attr(not(test), deny(clippy::panic))]
 
 use tc_classes::{build_class_env, ReduceBudget};
-use tc_core::{elaborate_with, Elaboration};
+use tc_core::{elaborate_with, ElabOptions, Elaboration};
 use tc_coreir::ShareStats;
 use tc_eval::{Budget, EvalError};
 use tc_lint::LintInput;
 use tc_syntax::{Diagnostics, ParseOptions};
+use tc_trace::{JsonWriter, Stage as TraceStage, Telemetry};
 use tc_types::VarGen;
 
-pub use tc_classes::ResolveStats;
+pub use tc_classes::{ResolveStats, ResolveTraceLog};
 pub use tc_coreir::ShareStats as DictShareStats;
+pub use tc_eval::{EvalProfile, EvalStats};
 pub use tc_lint::{LintConfig, Rule as LintRule};
 pub use tc_syntax::LintLevel;
 
@@ -77,6 +79,19 @@ pub struct Options {
     /// bindings after conversion (and before linting, so `L0007` sees
     /// the shared program). On by default.
     pub share_dictionaries: bool,
+    /// Record per-stage wall-clock spans and pipeline counters in
+    /// [`Check::telemetry`]. Off by default; when off, the telemetry
+    /// handle allocates nothing.
+    pub trace_timing: bool,
+    /// Record an explain-trace of every instance resolution in
+    /// [`Elaboration::resolution_trace`] (rendered by
+    /// [`Check::render_explain`]). Off by default and zero-cost when
+    /// off.
+    pub trace_resolution: bool,
+    /// Profile the evaluator per top-level binding; the profile lands
+    /// in [`RunResult::profile`]. Off by default and zero-cost when
+    /// off.
+    pub profile_eval: bool,
 }
 
 impl Default for Options {
@@ -89,6 +104,9 @@ impl Default for Options {
             lint_levels: LintConfig::default(),
             memoize_resolution: true,
             share_dictionaries: true,
+            trace_timing: false,
+            trace_resolution: false,
+            profile_eval: false,
         }
     }
 }
@@ -120,34 +138,53 @@ impl Options {
     }
 }
 
-/// Counters from one pipeline run: instance resolution on the left,
-/// dictionary sharing on the right. Rendered by the example runner's
-/// `--stats` flag and serialized into bench reports.
+/// Counters from one pipeline run: instance resolution, dictionary
+/// sharing, and — after evaluation — evaluator resource usage.
+/// Rendered by the example runner's `--stats` flag and serialized into
+/// bench reports.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PipelineStats {
     pub resolve: ResolveStats,
     pub share: ShareStats,
+    /// Evaluator counters; `None` until the program has been run
+    /// (populated by [`run_checked`]).
+    pub eval: Option<EvalStats>,
 }
 
 impl PipelineStats {
-    /// Hand-rolled JSON object (the build is offline — no serde).
+    /// Write the counters as fields of the writer's current object.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.field_u64("goals", self.resolve.goals);
+        w.field_u64("table_hits", self.resolve.table_hits);
+        w.field_u64("table_misses", self.resolve.table_misses);
+        w.field_f64("hit_rate", self.resolve.hit_rate(), 4);
+        w.field_u64("dicts_constructed", self.resolve.dicts_constructed);
+        w.field_u64("resolve_steps", self.resolve.steps);
+        w.field_u64("dict_sites_before_sharing", self.share.constructions_before);
+        w.field_u64("dict_sites_after_sharing", self.share.constructions_after);
+        w.field_u64("dicts_shared", self.share.occurrences_shared);
+        w.field_u64("share_bindings", self.share.hoisted_bindings);
+        match &self.eval {
+            Some(e) => {
+                w.begin_object_field("eval");
+                w.field_u64("fuel_used", e.fuel_used);
+                w.field_u64("peak_allocs", e.peak_allocs);
+                w.field_u64("thunks_created", e.thunks_created);
+                w.field_u64("forces", e.forces);
+                w.end_object();
+            }
+            None => w.field_null("eval"),
+        }
+    }
+
+    /// One JSON object (the build is offline — no serde; serialization
+    /// goes through the shared [`tc_trace::JsonWriter`]).
     pub fn to_json(&self) -> String {
-        format!(
-            "{{\"goals\": {}, \"table_hits\": {}, \"table_misses\": {}, \
-             \"hit_rate\": {:.4}, \"dicts_constructed\": {}, \"resolve_steps\": {}, \
-             \"dict_sites_before_sharing\": {}, \"dict_sites_after_sharing\": {}, \
-             \"dicts_shared\": {}, \"share_bindings\": {}}}",
-            self.resolve.goals,
-            self.resolve.table_hits,
-            self.resolve.table_misses,
-            self.resolve.hit_rate(),
-            self.resolve.dicts_constructed,
-            self.resolve.steps,
-            self.share.constructions_before,
-            self.share.constructions_after,
-            self.share.occurrences_shared,
-            self.share.hoisted_bindings,
-        )
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        self.write_json(&mut w);
+        w.end_object();
+        w.finish()
     }
 }
 
@@ -166,6 +203,9 @@ pub struct Check {
     pub diags: Diagnostics,
     /// Resolution and sharing counters for this run.
     pub stats: PipelineStats,
+    /// Per-stage spans and counters; disabled (and allocation-free)
+    /// unless [`Options::trace_timing`] was set.
+    pub telemetry: Telemetry,
 }
 
 impl Check {
@@ -184,6 +224,12 @@ impl Check {
     /// The inferred type scheme of a top-level binding, rendered.
     pub fn scheme(&self, name: &str) -> Option<String> {
         self.elab.schemes.get(name).map(|s| s.to_string())
+    }
+
+    /// Render the resolution explain-trace as an indented goal tree.
+    /// `None` unless [`Options::trace_resolution`] was set.
+    pub fn render_explain(&self) -> Option<String> {
+        self.elab.resolution_trace.as_ref().map(|t| t.render())
     }
 
     /// Pretty-print the whole converted core program (for debugging
@@ -214,37 +260,119 @@ pub enum Outcome {
     Eval(EvalError),
 }
 
-/// A full pipeline run: the compilation record plus the outcome.
+/// A full pipeline run: the compilation record, the outcome, and —
+/// when [`Options::profile_eval`] was set — the evaluator profile.
 pub struct RunResult {
     pub check: Check,
     pub outcome: Outcome,
+    /// Per-binding evaluator profile; `None` unless profiling was on
+    /// and the program was actually evaluated.
+    pub profile: Option<EvalProfile>,
+}
+
+impl RunResult {
+    /// Serialize the whole run — stage spans, counters, pipeline
+    /// stats, profile, outcome — as one JSON object.
+    pub fn trace_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        self.check.telemetry.write_json(&mut w);
+        w.begin_object_field("stats");
+        self.check.stats.write_json(&mut w);
+        w.end_object();
+        match &self.profile {
+            Some(p) => {
+                w.begin_array_field("profile");
+                for b in &p.bindings {
+                    w.begin_object();
+                    w.field_str("binding", &b.name);
+                    w.field_u64("forces", b.forces);
+                    w.field_u64("fuel", b.fuel);
+                    w.field_u64("thunks", b.thunks);
+                    w.end_object();
+                }
+                w.end_array();
+            }
+            None => w.field_null("profile"),
+        }
+        w.begin_object_field("outcome");
+        let (kind, detail) = match &self.outcome {
+            Outcome::Value(v) => ("value", Some(v.clone())),
+            Outcome::CompileErrors => ("compile-errors", None),
+            Outcome::NoMain => ("no-main", None),
+            Outcome::Eval(e) => ("eval-error", Some(e.to_string())),
+        };
+        w.field_str("kind", kind);
+        match &detail {
+            Some(d) => w.field_str("detail", d),
+            None => w.field_null("detail"),
+        }
+        w.end_object();
+        w.end_object();
+        w.finish()
+    }
 }
 
 /// Shared pipeline body behind [`check_source`] and [`lint_source`].
 fn compile(src: &str, opts: &Options, lint: bool) -> Check {
+    let mut telemetry = if opts.trace_timing {
+        Telemetry::new()
+    } else {
+        Telemetry::off()
+    };
     let (full_source, user_offset) = if opts.use_prelude {
         (format!("{PRELUDE}\n{src}"), PRELUDE.len() + 1)
     } else {
         (src.to_string(), 0)
     };
+
+    let timer = telemetry.start();
     let (toks, mut diags) = tc_syntax::lex(&full_source);
+    telemetry.record(TraceStage::Lex, timer, diags.len() as u64);
+    let mut seen = diags.len();
+
+    let timer = telemetry.start();
     let (prog, pd) = tc_syntax::parse_program(&toks, opts.parse.clone());
     diags.extend(pd);
+    telemetry.record(TraceStage::Parse, timer, (diags.len() - seen) as u64);
+    seen = diags.len();
+
+    let timer = telemetry.start();
     let mut gen = VarGen::new();
     let (cenv, cd) = build_class_env(&prog, &mut gen);
     diags.extend(cd);
-    let (mut elab, ed) =
-        elaborate_with(&prog, &cenv, &mut gen, opts.reduce, opts.memoize_resolution);
+    telemetry.record(TraceStage::ClassEnv, timer, (diags.len() - seen) as u64);
+    seen = diags.len();
+
+    let timer = telemetry.start();
+    let (mut elab, ed) = elaborate_with(
+        &prog,
+        &cenv,
+        &mut gen,
+        ElabOptions {
+            budget: opts.reduce,
+            memoize: opts.memoize_resolution,
+            trace_resolution: opts.trace_resolution,
+        },
+    );
     diags.extend(ed);
+    telemetry.record(TraceStage::Elaborate, timer, (diags.len() - seen) as u64);
+    seen = diags.len();
+
     // Dictionary sharing runs between conversion and linting: `L0007`
     // must see the shared program, or it would report constructions
-    // the pass has already hoisted.
+    // the pass has already hoisted. The span is recorded even with
+    // sharing off, so the stage sequence is stable across configs.
+    let timer = telemetry.start();
     let share = if opts.share_dictionaries {
         tc_coreir::share_program(&mut elab.core)
     } else {
         ShareStats::default()
     };
+    telemetry.record(TraceStage::Share, timer, 0);
+
     if lint {
+        let timer = telemetry.start();
         diags.extend(tc_lint::run_lints(
             &LintInput {
                 program: &prog,
@@ -254,10 +382,19 @@ fn compile(src: &str, opts: &Options, lint: bool) -> Check {
             },
             &opts.lint_levels,
         ));
+        telemetry.record(TraceStage::Lint, timer, (diags.len() - seen) as u64);
     }
+
+    if telemetry.is_enabled() {
+        telemetry.counter("core_bindings", elab.core.binds.len() as u64);
+        telemetry.counter("core_nodes", elab.core.node_count());
+        telemetry.counter("diagnostics", diags.len() as u64);
+    }
+
     let stats = PipelineStats {
         resolve: elab.stats,
         share,
+        eval: None,
     };
     Check {
         full_source,
@@ -265,6 +402,7 @@ fn compile(src: &str, opts: &Options, lint: bool) -> Check {
         elab,
         diags,
         stats,
+        telemetry,
     }
 }
 
@@ -284,20 +422,39 @@ pub fn lint_source(src: &str, opts: &Options) -> Check {
 }
 
 /// Run an already-compiled program: if it is error-free and has a
-/// `main`, evaluate it under the evaluator budget.
-pub fn run_checked(check: Check, opts: &Options) -> RunResult {
+/// `main`, evaluate it under the evaluator budget. Evaluation is
+/// timed into the check's telemetry, and its resource counters land
+/// in [`PipelineStats::eval`].
+pub fn run_checked(mut check: Check, opts: &Options) -> RunResult {
+    let mut profile = None;
     let outcome = if !check.ok() {
         Outcome::CompileErrors
     } else {
         match check.elab.core.main.clone() {
             None => Outcome::NoMain,
-            Some(entry) => match tc_eval::run_entry(&check.elab.core, &entry, opts.budget) {
-                Ok(v) => Outcome::Value(v),
-                Err(e) => Outcome::Eval(e),
-            },
+            Some(entry) => {
+                let timer = check.telemetry.start();
+                let run = tc_eval::run_entry_instrumented(
+                    &check.elab.core,
+                    &entry,
+                    opts.budget,
+                    opts.profile_eval,
+                );
+                check.telemetry.record(TraceStage::Eval, timer, 0);
+                check.stats.eval = Some(run.stats);
+                profile = run.profile;
+                match run.result {
+                    Ok(v) => Outcome::Value(v),
+                    Err(e) => Outcome::Eval(e),
+                }
+            }
         }
     };
-    RunResult { check, outcome }
+    RunResult {
+        check,
+        outcome,
+        profile,
+    }
 }
 
 /// Compile and, if the program is error-free and has a `main`, run it

@@ -77,6 +77,115 @@ impl Budget {
 /// stack usage a few megabytes regardless of what the caller asks for.
 pub const DEPTH_CEILING: usize = 10_000;
 
+/// Aggregate resource counters for one evaluation session. Cheap to
+/// collect (always on), snapshotted by [`Evaluator::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Evaluation steps consumed.
+    pub fuel_used: u64,
+    /// Heap objects (thunks, frames, closures) allocated. Nothing is
+    /// freed mid-run, so this is also the peak live count.
+    pub peak_allocs: u64,
+    /// Call-by-need suspensions created (a subset of `peak_allocs`).
+    pub thunks_created: u64,
+    /// Thunk forces, including re-forces of already-evaluated cells.
+    pub forces: u64,
+}
+
+/// Per-binding attribution for one top-level binding.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BindingProfile {
+    pub name: String,
+    /// Times the binding's thunk was forced (first force evaluates;
+    /// later forces are cache hits — a high count means a hot shared
+    /// value, not repeated work).
+    pub forces: u64,
+    /// Fuel burned while evaluating this binding's right-hand side
+    /// (innermost-binding attribution: work done inside another global
+    /// forced from here is charged to that global).
+    pub fuel: u64,
+    /// Thunks created while evaluating this binding's right-hand side.
+    pub thunks: u64,
+}
+
+/// The evaluator profile: per-binding counters, hottest (most fuel)
+/// first. Built by [`Evaluator::take_profile`] when profiling was
+/// enabled with [`Evaluator::enable_profiling`].
+#[derive(Debug, Clone, Default)]
+pub struct EvalProfile {
+    pub bindings: Vec<BindingProfile>,
+}
+
+impl EvalProfile {
+    pub fn get(&self, name: &str) -> Option<&BindingProfile> {
+        self.bindings.iter().find(|b| b.name == name)
+    }
+
+    /// Human-readable hot-bindings table, hottest first.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<28} {:>8} {:>10} {:>8}",
+            "binding", "forces", "fuel", "thunks"
+        );
+        for b in &self.bindings {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>8} {:>10} {:>8}",
+                b.name, b.forces, b.fuel, b.thunks
+            );
+        }
+        out
+    }
+}
+
+/// Internal profiling state, boxed behind an `Option` so the
+/// profiling-off hot path costs one branch and allocates nothing.
+#[derive(Debug, Default)]
+struct ProfileState {
+    entries: Vec<BindingProfile>,
+    index: HashMap<String, usize>,
+    /// `Rc` pointer of a global binding's thunk → entry index.
+    owner: HashMap<usize, usize>,
+    /// Entry indices of bindings whose right-hand side is currently
+    /// being evaluated, innermost last. Fuel/thunk ticks are charged
+    /// to the top.
+    stack: Vec<usize>,
+}
+
+impl ProfileState {
+    fn entry_index(&mut self, name: &str) -> usize {
+        if let Some(&i) = self.index.get(name) {
+            return i;
+        }
+        let i = self.entries.len();
+        self.entries.push(BindingProfile {
+            name: name.to_string(),
+            ..BindingProfile::default()
+        });
+        self.index.insert(name.to_string(), i);
+        i
+    }
+
+    fn charge_fuel(&mut self) {
+        if let Some(&i) = self.stack.last() {
+            if let Some(e) = self.entries.get_mut(i) {
+                e.fuel += 1;
+            }
+        }
+    }
+
+    fn charge_thunk(&mut self) {
+        if let Some(&i) = self.stack.last() {
+            if let Some(e) = self.entries.get_mut(i) {
+                e.thunks += 1;
+            }
+        }
+    }
+}
+
 /// Structured evaluation failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EvalError {
@@ -263,6 +372,11 @@ pub struct Evaluator {
     fuel_left: u64,
     allocs_left: u64,
     max_depth: usize,
+    thunks_created: u64,
+    forces: u64,
+    /// Per-binding profiler; `None` (the default) keeps the hot path
+    /// at one branch per tick and allocates nothing.
+    profile: Option<Box<ProfileState>>,
     /// Every thunk ever created. On drop, each is overwritten with a
     /// childless tombstone, severing all links (including `letrec`
     /// cycles) so deep structures are dismantled iteratively.
@@ -293,6 +407,9 @@ impl Evaluator {
             fuel_left: budget.fuel,
             allocs_left: budget.max_allocs,
             max_depth: budget.max_depth.min(DEPTH_CEILING),
+            thunks_created: 0,
+            forces: 0,
+            profile: None,
             arena: Vec::new(),
         }
     }
@@ -302,11 +419,41 @@ impl Evaluator {
         self.budget.fuel - self.fuel_left
     }
 
+    /// Snapshot the session's aggregate counters.
+    pub fn stats(&self) -> EvalStats {
+        EvalStats {
+            fuel_used: self.fuel_used(),
+            peak_allocs: self.budget.max_allocs - self.allocs_left,
+            thunks_created: self.thunks_created,
+            forces: self.forces,
+        }
+    }
+
+    /// Turn on per-binding profiling (idempotent). Enable before the
+    /// first [`Evaluator::eval_entry`] call for complete attribution.
+    pub fn enable_profiling(&mut self) {
+        if self.profile.is_none() {
+            self.profile = Some(Box::default());
+        }
+    }
+
+    /// Detach the profile accumulated so far, hottest binding (most
+    /// fuel) first. `None` when profiling was never enabled.
+    pub fn take_profile(&mut self) -> Option<EvalProfile> {
+        let state = self.profile.take()?;
+        let mut bindings = state.entries;
+        bindings.sort_by(|a, b| b.fuel.cmp(&a.fuel).then_with(|| a.name.cmp(&b.name)));
+        Some(EvalProfile { bindings })
+    }
+
     fn tick(&mut self) -> Result<(), EvalError> {
         if self.fuel_left == 0 {
             return Err(EvalError::FuelExhausted);
         }
         self.fuel_left -= 1;
+        if let Some(p) = self.profile.as_mut() {
+            p.charge_fuel();
+        }
         Ok(())
     }
 
@@ -327,6 +474,10 @@ impl Evaluator {
 
     fn thunk(&mut self, e: Rc<RExpr>, env: Env) -> Result<ThunkRef, EvalError> {
         self.alloc()?;
+        self.thunks_created += 1;
+        if let Some(p) = self.profile.as_mut() {
+            p.charge_thunk();
+        }
         let t = Rc::new(RefCell::new(Thunk::Unevaluated(e, env)));
         self.arena.push(t.clone());
         Ok(t)
@@ -344,6 +495,10 @@ impl Evaluator {
         let e = self.globals.get(name)?.clone();
         let t = self.thunk(e, None).ok()?;
         self.global_cache.insert(name.to_string(), t.clone());
+        if let Some(p) = self.profile.as_mut() {
+            let idx = p.entry_index(name);
+            p.owner.insert(Rc::as_ptr(&t) as usize, idx);
+        }
         Some(t)
     }
 
@@ -358,6 +513,21 @@ impl Evaluator {
     fn force(&mut self, t: &ThunkRef, depth: usize) -> Result<Value, EvalError> {
         self.tick()?;
         self.check_depth(depth)?;
+        self.forces += 1;
+        // Which top-level binding (if any) does this thunk belong to?
+        let owner = match self.profile.as_mut() {
+            Some(p) => {
+                let key = Rc::as_ptr(t) as usize;
+                let idx = p.owner.get(&key).copied();
+                if let Some(i) = idx {
+                    if let Some(e) = p.entries.get_mut(i) {
+                        e.forces += 1;
+                    }
+                }
+                idx
+            }
+            None => None,
+        };
         let state = std::mem::replace(&mut *t.borrow_mut(), Thunk::Evaluating);
         match state {
             Thunk::Evaluated(v) => {
@@ -366,7 +536,15 @@ impl Evaluator {
             }
             Thunk::Evaluating => Err(EvalError::BlackHole),
             Thunk::Unevaluated(e, env) => {
-                let v = self.eval(&e, &env, depth + 1)?;
+                // Charge the binding's right-hand-side work to it.
+                if let (Some(p), Some(i)) = (self.profile.as_mut(), owner) {
+                    p.stack.push(i);
+                }
+                let v = self.eval(&e, &env, depth + 1);
+                if let (Some(p), Some(_)) = (self.profile.as_mut(), owner) {
+                    p.stack.pop();
+                }
+                let v = v?;
                 *t.borrow_mut() = Thunk::Evaluated(v.clone());
                 Ok(v)
             }
@@ -601,11 +779,41 @@ impl Evaluator {
     }
 }
 
+/// One instrumented evaluation: the printed result (or error), the
+/// session's aggregate counters, and — when requested — the
+/// per-binding profile.
+#[derive(Debug)]
+pub struct EvalRun {
+    pub result: Result<String, EvalError>,
+    pub stats: EvalStats,
+    pub profile: Option<EvalProfile>,
+}
+
+/// Evaluate `entry` in `prog`, deep-print the result, and report
+/// resource counters; with `profile` set, also attribute work to
+/// top-level bindings. Stats are meaningful on error too (they
+/// describe the work done up to the failure).
+pub fn run_entry_instrumented(
+    prog: &CoreProgram,
+    entry: &str,
+    budget: Budget,
+    profile: bool,
+) -> EvalRun {
+    let mut ev = Evaluator::new(prog, budget);
+    if profile {
+        ev.enable_profiling();
+    }
+    let result = ev.eval_entry(entry).and_then(|v| ev.show(&v));
+    EvalRun {
+        result,
+        stats: ev.stats(),
+        profile: ev.take_profile(),
+    }
+}
+
 /// Evaluate `entry` in `prog` and deep-print the result.
 pub fn run_entry(prog: &CoreProgram, entry: &str, budget: Budget) -> Result<String, EvalError> {
-    let mut ev = Evaluator::new(prog, budget);
-    let v = ev.eval_entry(entry)?;
-    ev.show(&v)
+    run_entry_instrumented(prog, entry, budget, false).result
 }
 
 #[cfg(test)]
@@ -823,6 +1031,67 @@ mod tests {
         }
         assert_eq!(n, 100_000);
         drop(ev); // must not overflow the stack
+    }
+
+    #[test]
+    fn stats_report_fuel_and_allocations() {
+        let p = prog(vec![(
+            "main",
+            C::apps(var("primAddInt"), vec![int(40), int(2)]),
+        )]);
+        let run = run_entry_instrumented(&p, "main", Budget::default(), false);
+        assert_eq!(run.result.as_deref(), Ok("42"));
+        assert!(run.stats.fuel_used > 0, "{:?}", run.stats);
+        assert!(run.stats.peak_allocs > 0, "{:?}", run.stats);
+        assert!(run.stats.thunks_created > 0, "{:?}", run.stats);
+        assert!(run.stats.forces > 0, "{:?}", run.stats);
+        assert!(run.profile.is_none(), "profiling was not requested");
+    }
+
+    #[test]
+    fn stats_survive_errors() {
+        let p = prog(vec![("main", C::Fail("hole".into()))]);
+        let run = run_entry_instrumented(&p, "main", Budget::default(), false);
+        assert!(run.result.is_err());
+        assert!(run.stats.fuel_used > 0);
+    }
+
+    #[test]
+    fn profiler_force_counts_are_analytic() {
+        // x = 5
+        // y = x + x      -- forces x twice (2nd is a cache hit)
+        // main = y + y   -- forces y twice (2nd is a cache hit)
+        let p = prog(vec![
+            ("x", int(5)),
+            ("y", C::apps(var("primAddInt"), vec![var("x"), var("x")])),
+            ("main", C::apps(var("primAddInt"), vec![var("y"), var("y")])),
+        ]);
+        let run = run_entry_instrumented(&p, "main", Budget::default(), true);
+        assert_eq!(run.result.as_deref(), Ok("20"));
+        let profile = run.profile.expect("profiling requested");
+        let get = |n: &str| profile.get(n).expect("missing profile entry");
+        assert_eq!(get("main").forces, 1, "{profile:?}");
+        assert_eq!(get("y").forces, 2, "{profile:?}");
+        assert_eq!(get("x").forces, 2, "{profile:?}");
+        // Fuel charged to y covers its rhs work; main's table lists it.
+        assert!(get("y").fuel > 0, "{profile:?}");
+        let table = profile.render_table();
+        assert!(table.contains("binding"), "{table}");
+        assert!(table.contains("main"), "{table}");
+        // Profiled and unprofiled runs agree on results and counters.
+        let plain = run_entry_instrumented(&p, "main", Budget::default(), false);
+        assert_eq!(plain.result.as_deref(), Ok("20"));
+        assert_eq!(plain.stats, run.stats);
+    }
+
+    #[test]
+    fn profiling_off_allocates_no_profile_state() {
+        let p = prog(vec![("main", int(1))]);
+        let mut ev = Evaluator::new(&p, Budget::default());
+        assert!(ev.profile.is_none());
+        ev.eval_entry("main").unwrap();
+        assert!(ev.profile.is_none());
+        assert!(ev.take_profile().is_none());
     }
 
     #[test]

@@ -1,0 +1,460 @@
+//! A small, allocation-light JSON writer and a well-formedness
+//! checker.
+//!
+//! The build environment is offline (no serde), and before this module
+//! existed every JSON emitter in the repository — pipeline stats, the
+//! bench report — was a hand-rolled format string, one typo away from
+//! invalid output. [`JsonWriter`] makes structurally invalid JSON hard
+//! to produce (commas and quoting are managed by the writer, strings
+//! are escaped, non-finite floats degrade to `null`), and [`check`]
+//! is a minimal recursive-descent validator the tests and the bench
+//! harness run over every emitted document.
+
+use std::fmt::Write as _;
+
+/// Incremental JSON document builder.
+///
+/// Containers are explicit: [`JsonWriter::begin_object`] /
+/// [`JsonWriter::end_object`] (and the `_field` variants for nested
+/// containers inside an object). Field helpers insert commas and quote
+/// and escape keys/values, so the output is well-formed by
+/// construction as long as begins and ends are balanced — which
+/// [`check`] verifies in tests anyway.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    buf: String,
+    /// One entry per open container: `true` once the container has at
+    /// least one item (so the next item needs a comma).
+    stack: Vec<bool>,
+}
+
+impl JsonWriter {
+    pub fn new() -> Self {
+        JsonWriter::default()
+    }
+
+    /// Comma bookkeeping before writing an item into the current
+    /// container.
+    fn item(&mut self) {
+        if let Some(has_items) = self.stack.last_mut() {
+            if *has_items {
+                self.buf.push_str(", ");
+            }
+            *has_items = true;
+        }
+    }
+
+    fn push_key(&mut self, key: &str) {
+        self.item();
+        escape_into(key, &mut self.buf);
+        self.buf.push_str(": ");
+    }
+
+    /// Open an object as the root value or as an array element.
+    pub fn begin_object(&mut self) {
+        self.item();
+        self.buf.push('{');
+        self.stack.push(false);
+    }
+
+    /// Open an object-valued field of the current object.
+    pub fn begin_object_field(&mut self, key: &str) {
+        self.push_key(key);
+        self.buf.push('{');
+        self.stack.push(false);
+    }
+
+    pub fn end_object(&mut self) {
+        self.stack.pop();
+        self.buf.push('}');
+    }
+
+    /// Open an array as the root value or as an array element.
+    pub fn begin_array(&mut self) {
+        self.item();
+        self.buf.push('[');
+        self.stack.push(false);
+    }
+
+    /// Open an array-valued field of the current object.
+    pub fn begin_array_field(&mut self, key: &str) {
+        self.push_key(key);
+        self.buf.push('[');
+        self.stack.push(false);
+    }
+
+    pub fn end_array(&mut self) {
+        self.stack.pop();
+        self.buf.push(']');
+    }
+
+    pub fn field_str(&mut self, key: &str, value: &str) {
+        self.push_key(key);
+        escape_into(value, &mut self.buf);
+    }
+
+    pub fn field_u64(&mut self, key: &str, value: u64) {
+        self.push_key(key);
+        let _ = write!(self.buf, "{value}");
+    }
+
+    pub fn field_i64(&mut self, key: &str, value: i64) {
+        self.push_key(key);
+        let _ = write!(self.buf, "{value}");
+    }
+
+    pub fn field_bool(&mut self, key: &str, value: bool) {
+        self.push_key(key);
+        let _ = write!(self.buf, "{value}");
+    }
+
+    /// Fixed-precision float field; NaN and infinities (not
+    /// representable in JSON) are written as `null`.
+    pub fn field_f64(&mut self, key: &str, value: f64, decimals: usize) {
+        self.push_key(key);
+        if value.is_finite() {
+            let _ = write!(self.buf, "{value:.decimals$}");
+        } else {
+            self.buf.push_str("null");
+        }
+    }
+
+    pub fn field_null(&mut self, key: &str) {
+        self.push_key(key);
+        self.buf.push_str("null");
+    }
+
+    /// String array element.
+    pub fn elem_str(&mut self, value: &str) {
+        self.item();
+        escape_into(value, &mut self.buf);
+    }
+
+    /// Integer array element.
+    pub fn elem_u64(&mut self, value: u64) {
+        self.item();
+        let _ = write!(self.buf, "{value}");
+    }
+
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+/// Write `s` as a quoted, escaped JSON string.
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Maximum container nesting accepted by [`check`]: the validator is
+/// recursive, and our own documents are a handful of levels deep.
+const CHECK_MAX_DEPTH: usize = 128;
+
+/// Minimal JSON well-formedness check (RFC 8259 value grammar, no
+/// number-range validation). Returns the byte offset and a message for
+/// the first violation. Used by tests and the bench harness to make
+/// sure no emitter drifts into invalid output.
+pub fn check(src: &str) -> Result<(), String> {
+    let mut p = Checker {
+        bytes: src.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing content after the top-level value"));
+    }
+    Ok(())
+}
+
+struct Checker<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Checker<'_> {
+    fn err(&self, msg: &str) -> String {
+        format!("invalid JSON at byte {}: {}", self.pos, msg)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<(), String> {
+        if depth > CHECK_MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("expected a JSON value")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            self.value(depth + 1)?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value(depth + 1)?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        while let Some(b) = self.peek() {
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.pos += 1;
+                        }
+                        Some(b'u') => {
+                            self.pos += 1;
+                            for _ in 0..4 {
+                                if !matches!(self.peek(), Some(c) if c.is_ascii_hexdigit()) {
+                                    return Err(self.err("bad \\u escape"));
+                                }
+                                self.pos += 1;
+                            }
+                        }
+                        _ => return Err(self.err("bad escape sequence")),
+                    }
+                }
+                0x00..=0x1f => return Err(self.err("raw control character in string")),
+                _ => self.pos += 1,
+            }
+        }
+        Err(self.err("unterminated string"))
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut int_digits = 0usize;
+        let first = self.peek();
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+            int_digits += 1;
+        }
+        if int_digits == 0 {
+            return Err(self.err("expected digits in number"));
+        }
+        if first == Some(b'0') && int_digits > 1 {
+            return Err(self.err("leading zero in number"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let mut frac = 0usize;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+                frac += 1;
+            }
+            if frac == 0 {
+                return Err(self.err("expected digits after `.`"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let mut exp = 0usize;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+                exp += 1;
+            }
+            if exp == 0 {
+                return Err(self.err("expected digits in exponent"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_builds_nested_documents() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("name", "deep \"tower\"\n");
+        w.field_u64("goals", 42);
+        w.field_f64("hit_rate", 0.9375, 4);
+        w.field_f64("bad", f64::NAN, 4);
+        w.field_bool("ok", true);
+        w.field_null("eval");
+        w.begin_array_field("spans");
+        for i in 0..2 {
+            w.begin_object();
+            w.field_u64("start", i);
+            w.end_object();
+        }
+        w.elem_str("tail");
+        w.elem_u64(7);
+        w.end_array();
+        w.begin_object_field("nested");
+        w.field_i64("neg", -3);
+        w.end_object();
+        w.end_object();
+        let s = w.finish();
+        let res = check(&s);
+        assert!(res.is_ok(), "{res:?}\n{s}");
+        assert!(s.contains("\"hit_rate\": 0.9375"), "{s}");
+        assert!(s.contains("\"bad\": null"), "{s}");
+        assert!(s.contains("\\\"tower\\\"\\n"), "{s}");
+    }
+
+    #[test]
+    fn empty_containers() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.begin_array_field("xs");
+        w.end_array();
+        w.begin_object_field("o");
+        w.end_object();
+        w.end_object();
+        let s = w.finish();
+        check(&s).unwrap();
+        assert_eq!(s, "{\"xs\": [], \"o\": {}}");
+    }
+
+    #[test]
+    fn checker_accepts_valid_documents() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            "-0.5e+10",
+            "\"a\\u00e9b\"",
+            "{\"a\": [1, 2, {\"b\": null}], \"c\": \"x\"}",
+            "  [ 1 , 2 ]  ",
+        ] {
+            let res = check(ok);
+            assert!(res.is_ok(), "{ok}: {res:?}");
+        }
+    }
+
+    #[test]
+    fn checker_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\": }",
+            "{\"a\": 1,}",
+            "[1, 2",
+            "[1 2]",
+            "{\"a\" 1}",
+            "{a: 1}",
+            "01",
+            "1.",
+            "1e",
+            "\"unterminated",
+            "\"bad \\q escape\"",
+            "{} trailing",
+            "nul",
+        ] {
+            assert!(check(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn checker_depth_limit_is_an_error_not_a_crash() {
+        let deep = "[".repeat(CHECK_MAX_DEPTH + 2) + &"]".repeat(CHECK_MAX_DEPTH + 2);
+        assert!(check(&deep).is_err());
+    }
+}

@@ -3,31 +3,175 @@
 //! ```sh
 //! cargo run --example run -- program.mh
 //! echo 'main = member 3 (enumFromTo 1 5);' | cargo run --example run
-//! cargo run --example run -- --small program.mh   # tiny evaluator budget
-//! cargo run --example run -- --core program.mh    # dump converted core
-//! cargo run --example run -- --lint program.mh    # run the tc-lint pass
-//! cargo run --example run -- --deny-lints program.mh          # lints fail the build
-//! cargo run --example run -- --lint --lint-level=unused-binding=allow program.mh
-//! cargo run --example run -- --stats program.mh   # resolution/sharing stats (JSON, stderr)
-//! cargo run --example run -- --no-memo --no-share program.mh  # disable the optimizations
+//! cargo run --example run -- --core program.mh     # dump converted core
+//! cargo run --example run -- --lint program.mh     # run the tc-lint pass
+//! cargo run --example run -- --stats program.mh    # pipeline stats (JSON, stderr)
+//! cargo run --example run -- --trace --profile program.mh  # timings + hot bindings
+//! cargo run --example run -- --explain program.mh  # resolution derivation trees
 //! ```
+//!
+//! Exit codes: 0 success, 1 compile errors, 2 usage/IO errors or
+//! conflicting flags, 3 runtime error.
 
 use std::io::Read;
 use std::process::ExitCode;
 use typeclasses::{run_checked, Budget, LintConfig, LintLevel, Options, Outcome};
 
-const USAGE: &str = "expected --small, --core, --no-prelude, --lint, --deny-lints, \
-                     --stats, --no-memo, --no-share, \
-                     or --lint-level=<rule>=<allow|warn|deny>";
+/// One command-line option: its name, argument shape (if any), and
+/// help line. `USAGE` is generated from this table, so the two cannot
+/// drift apart.
+struct FlagSpec {
+    name: &'static str,
+    arg: Option<&'static str>,
+    help: &'static str,
+}
+
+const FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "--small",
+        arg: None,
+        help: "use the tiny evaluator budget",
+    },
+    FlagSpec {
+        name: "--core",
+        arg: None,
+        help: "dump the converted core program",
+    },
+    FlagSpec {
+        name: "--no-prelude",
+        arg: None,
+        help: "compile the program without the standard prelude",
+    },
+    FlagSpec {
+        name: "--stats",
+        arg: None,
+        help: "print pipeline stats as one JSON object (stderr)",
+    },
+    FlagSpec {
+        name: "--no-memo",
+        arg: None,
+        help: "disable resolution memoization (baseline mode)",
+    },
+    FlagSpec {
+        name: "--no-share",
+        arg: None,
+        help: "disable dictionary sharing (baseline mode)",
+    },
+    FlagSpec {
+        name: "--lint",
+        arg: None,
+        help: "run the tc-lint pass (findings warn)",
+    },
+    FlagSpec {
+        name: "--deny-lints",
+        arg: None,
+        help: "run tc-lint with every rule escalated to deny",
+    },
+    FlagSpec {
+        name: "--lint-level",
+        arg: Some("<rule>=<allow|warn|deny>"),
+        help: "set one lint rule's level (implies --lint)",
+    },
+    FlagSpec {
+        name: "--time",
+        arg: None,
+        help: "print the per-stage timing table (stderr)",
+    },
+    FlagSpec {
+        name: "--trace",
+        arg: None,
+        help: "print per-stage timings and pipeline counters (stderr)",
+    },
+    FlagSpec {
+        name: "--explain",
+        arg: None,
+        help: "print instance-resolution derivation trees (stdout)",
+    },
+    FlagSpec {
+        name: "--profile",
+        arg: None,
+        help: "print the evaluator's hot-bindings table (stderr)",
+    },
+    FlagSpec {
+        name: "--trace-json",
+        arg: Some("<file>"),
+        help: "write the full run trace as JSON to <file>",
+    },
+];
+
+/// Flag pairs that contradict each other (exit code 2).
+const CONFLICTS: &[(&str, &str, &str)] = &[(
+    "--no-memo",
+    "--explain",
+    "explain traces report memo-hit provenance, which requires the memo table",
+)];
+
+fn usage() -> String {
+    let mut out = String::from(
+        "usage: run [options] [program.mh]   (reads stdin when no file is given)\n\noptions:\n",
+    );
+    for f in FLAGS {
+        let left = match f.arg {
+            Some(a) => format!("{}={}", f.name, a),
+            None => f.name.to_string(),
+        };
+        out.push_str(&format!("  {left:<36} {}\n", f.help));
+    }
+    out
+}
+
+/// Levenshtein distance, for did-you-mean suggestions.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut cur = vec![i + 1];
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur.push(sub.min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
+}
+
+/// The closest known flag name, if it is close enough to be a
+/// plausible typo.
+fn suggest(unknown: &str) -> Option<&'static str> {
+    let name = unknown.split('=').next().unwrap_or(unknown);
+    FLAGS
+        .iter()
+        .map(|f| (edit_distance(name, f.name), f.name))
+        .min()
+        .filter(|(d, _)| *d <= 3)
+        .map(|(_, n)| n)
+}
 
 fn main() -> ExitCode {
     let mut opts = Options::default();
     let mut dump_core = false;
     let mut lint = false;
     let mut stats = false;
+    let mut explain = false;
+    let mut profile = false;
+    let mut show_timing = false;
+    let mut trace_json_path: Option<String> = None;
     let mut path: Option<String> = None;
+    let mut seen: Vec<&'static str> = Vec::new();
+
     for arg in std::env::args().skip(1) {
+        if let Some(f) = FLAGS
+            .iter()
+            .find(|f| arg == f.name || arg.starts_with(&format!("{}=", f.name)))
+        {
+            seen.push(f.name);
+        }
         match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
             "--small" => opts.budget = Budget::small(),
             "--core" => dump_core = true,
             "--no-prelude" => opts.use_prelude = false,
@@ -38,6 +182,22 @@ fn main() -> ExitCode {
             "--deny-lints" => {
                 lint = true;
                 opts.lint_levels = LintConfig::all(LintLevel::Deny);
+            }
+            "--time" | "--trace" => {
+                opts.trace_timing = true;
+                show_timing = true;
+            }
+            "--explain" => {
+                opts.trace_resolution = true;
+                explain = true;
+            }
+            "--profile" => {
+                opts.profile_eval = true;
+                profile = true;
+            }
+            _ if arg.starts_with("--trace-json=") => {
+                opts.trace_timing = true;
+                trace_json_path = Some(arg["--trace-json=".len()..].to_string());
             }
             _ if arg.starts_with("--lint-level=") => {
                 lint = true;
@@ -55,10 +215,21 @@ fn main() -> ExitCode {
                 }
             }
             _ if arg.starts_with('-') => {
-                eprintln!("error: unknown option `{arg}` ({USAGE})");
+                match suggest(&arg) {
+                    Some(s) => eprintln!("error: unknown option `{arg}` (did you mean `{s}`?)"),
+                    None => eprintln!("error: unknown option `{arg}`"),
+                }
+                eprint!("{}", usage());
                 return ExitCode::from(2);
             }
             _ => path = Some(arg),
+        }
+    }
+
+    for (a, b, why) in CONFLICTS {
+        if seen.contains(a) && seen.contains(b) {
+            eprintln!("error: `{a}` conflicts with `{b}`: {why}");
+            return ExitCode::from(2);
         }
     }
 
@@ -85,16 +256,41 @@ fn main() -> ExitCode {
     } else {
         typeclasses::check_source(&src, &opts)
     };
-    if stats {
-        eprintln!("{}", check.stats.to_json());
-    }
     let r = run_checked(check, &opts);
+
     if !r.check.diags.is_empty() {
         eprintln!("{}", r.check.render_diagnostics());
     }
     if dump_core {
         println!("{}", r.check.pretty_core());
     }
+    if explain {
+        match r.check.render_explain() {
+            Some(t) if !t.is_empty() => print!("{t}"),
+            _ => println!("(no resolution goals)"),
+        }
+    }
+    // Stats are printed after the run so evaluator counters (fuel,
+    // allocations) are included when the program was evaluated.
+    if stats {
+        eprintln!("{}", r.check.stats.to_json());
+    }
+    if show_timing {
+        eprint!("{}", r.check.telemetry.render_table());
+    }
+    if profile {
+        match &r.profile {
+            Some(p) => eprint!("{}", p.render_table()),
+            None => eprintln!("note: nothing was evaluated, so there is no profile"),
+        }
+    }
+    if let Some(p) = &trace_json_path {
+        if let Err(e) = std::fs::write(p, r.trace_json()) {
+            eprintln!("error: cannot write {p}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
     match r.outcome {
         Outcome::Value(v) => {
             println!("{v}");

@@ -16,12 +16,14 @@ pub use tc_driver as driver;
 pub use tc_eval as eval;
 pub use tc_lint as lint;
 pub use tc_syntax as syntax;
+pub use tc_trace as trace;
 pub use tc_types as types;
 
 pub use tc_driver::{
     check_source, lint_source, run_checked, run_source, Check, Options, Outcome, PipelineStats,
     RunResult, PRELUDE,
 };
-pub use tc_eval::{Budget, EvalError};
+pub use tc_eval::{Budget, EvalError, EvalProfile, EvalStats};
 pub use tc_lint::{LintConfig, Rule};
 pub use tc_syntax::LintLevel;
+pub use tc_trace::{JsonWriter, Stage, StageSpan, Telemetry, TraceNode};
