@@ -1,0 +1,105 @@
+//! CLI wrapper around [`typeclasses::compare::compare_reports`]: the
+//! perf-regression baseline gate.
+//!
+//! ```sh
+//! cargo bench --bench resolve -- --test           # produce BENCH_resolve.json
+//! cargo bench --bench compare -- benches/baseline.json BENCH_resolve.json
+//! ```
+//!
+//! Flags:
+//!
+//! * `--tol-nanos=<ratio>` — timing tolerance ratio (default 3.0): a
+//!   timing regresses when `new > old * ratio`;
+//! * `--min-nanos=<ns>` — noise floor (default 100000): baseline
+//!   timings below it are not compared at all.
+//!
+//! Exit codes: 0 clean, 1 regression(s), 2 usage / unreadable input /
+//! incomparable reports. `--bench` and `--test` (passed by cargo) are
+//! ignored, like the resolve bench does.
+
+use std::process::ExitCode;
+use typeclasses::compare::{compare_reports, Tolerance};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cargo bench --bench compare -- [--tol-nanos=<ratio>] [--min-nanos=<ns>] \
+         <baseline.json> <current.json>"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut tol = Tolerance::default();
+    let mut paths: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if arg == "--bench" || arg == "--test" {
+            continue; // cargo passes these to harness-less benches
+        } else if let Some(v) = arg.strip_prefix("--tol-nanos=") {
+            match v.parse::<f64>() {
+                Ok(r) if r >= 1.0 => tol.nanos_ratio = r,
+                _ => {
+                    eprintln!("--tol-nanos wants a ratio >= 1.0, got {v:?}");
+                    return usage();
+                }
+            }
+        } else if let Some(v) = arg.strip_prefix("--min-nanos=") {
+            match v.parse::<u64>() {
+                Ok(n) => tol.min_nanos = n,
+                Err(_) => {
+                    eprintln!("--min-nanos wants an integer, got {v:?}");
+                    return usage();
+                }
+            }
+        } else if arg.starts_with("--") {
+            eprintln!("unknown flag {arg:?}");
+            return usage();
+        } else {
+            paths.push(arg);
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        return usage();
+    };
+
+    let read =
+        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    let (baseline, current) = match (read(baseline_path), read(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match compare_reports(&baseline, &current, &tol) {
+        Err(e) => {
+            eprintln!("compare: {e}");
+            ExitCode::from(2)
+        }
+        Ok(cmp) => {
+            print!("{}", cmp.report);
+            println!(
+                "compared {} workloads, {} fields (timing tolerance {}x, noise floor {}ns)",
+                cmp.workloads_compared, cmp.fields_compared, tol.nanos_ratio, tol.min_nanos
+            );
+            if cmp.ok() {
+                println!("no regressions against {baseline_path}");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "{} regression(s) against {baseline_path}:",
+                    cmp.regressions.len()
+                );
+                for r in &cmp.regressions {
+                    eprintln!("  {}: {}", r.workload, r.detail);
+                }
+                eprintln!(
+                    "if this change is intentional, refresh the baseline: \
+                     cargo bench --bench resolve -- --test && \
+                     cp BENCH_resolve.json benches/baseline.json"
+                );
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

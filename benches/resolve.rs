@@ -64,10 +64,15 @@ struct Row {
     construction_ratio: f64,
     nanos_on: u128,
     nanos_off: u128,
-    /// Per-stage pipeline timings `(stage name, duration in ns)`,
-    /// harvested from telemetry. Empty for raw-resolution workloads,
-    /// which never run the front end.
+    /// Per-stage pipeline timings `(stage name, duration in ns)`.
+    /// Example workloads harvest them from telemetry; raw-resolution
+    /// workloads never run the front end, so they carry a single
+    /// synthetic `resolve` stage covering the cache-on loop.
     stages: Vec<(String, u64)>,
+    /// Deterministic metric counters `(name, value)` from the
+    /// metrics registry — no wall-clock readings, so the baseline
+    /// comparator can hold them to exact equality.
+    metrics: Vec<(&'static str, u64)>,
 }
 
 impl Row {
@@ -86,6 +91,11 @@ impl Row {
         w.begin_object_field("stage_nanos");
         for (stage, ns) in &self.stages {
             w.field_u64(stage, *ns);
+        }
+        w.end_object();
+        w.begin_object_field("metrics");
+        for (name, value) in &self.metrics {
+            w.field_u64(name, *value);
         }
         w.end_object();
         w.end_object();
@@ -119,6 +129,11 @@ fn bench_resolution(name: &'static str, cenv: &ClassEnv, pred: &Pred, iters: usi
     let nanos_off = t1.elapsed().as_nanos();
     let off = off_cache.stats;
 
+    // Counters are folded after the timed loops, so enabling metrics
+    // here costs the measurement nothing.
+    cache.enable_metrics();
+    cache.flush_metrics();
+
     Row {
         name,
         goals: on.goals,
@@ -130,7 +145,9 @@ fn bench_resolution(name: &'static str, cenv: &ClassEnv, pred: &Pred, iters: usi
         construction_ratio: off.dicts_constructed as f64 / on.dicts_constructed.max(1) as f64,
         nanos_on,
         nanos_off,
-        stages: Vec::new(),
+        // Raw resolution has exactly one "stage": the cache-on loop.
+        stages: vec![("resolve".to_string(), saturate(nanos_on))],
+        metrics: cache.metrics.counters_snapshot(),
     }
 }
 
@@ -141,6 +158,7 @@ fn bench_resolution(name: &'static str, cenv: &ClassEnv, pred: &Pred, iters: usi
 fn bench_example(name: &'static str, src: &str) -> Row {
     let on_opts = Options {
         trace_timing: true,
+        collect_metrics: true,
         ..Options::default()
     };
     let t0 = Instant::now();
@@ -172,6 +190,7 @@ fn bench_example(name: &'static str, src: &str) -> Row {
             .iter()
             .map(|s| (s.stage.name().to_string(), s.duration_ns))
             .collect(),
+        metrics: on.stats.metrics.counters_snapshot(),
     }
 }
 

@@ -35,5 +35,5 @@ pub use build::build_class_env;
 pub use env::{ClassEnv, ClassInfo, Instance, MethodInfo};
 pub use lower::{lower_qual_type, lower_type, LowerCtx};
 pub use resolve::{
-    DictDeriv, ReduceBudget, ResolveCache, ResolveError, ResolveStats, ResolveTraceLog,
+    DictDeriv, GoalSpanLog, ReduceBudget, ResolveCache, ResolveError, ResolveStats, ResolveTraceLog,
 };

@@ -51,7 +51,8 @@
 use crate::env::ClassEnv;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
-use tc_trace::TraceNode;
+use std::time::Instant;
+use tc_trace::{CounterId, GaugeId, HistogramId, MetricsRegistry, SpanEvent, TraceNode};
 use tc_types::{Interner, NameId, Pred, Type, TypeId};
 
 /// Limits for one resolution / context-reduction call.
@@ -283,6 +284,22 @@ impl ResolveTraceLog {
     }
 }
 
+/// Wall-clock span sink for top-level resolution goals, timed against
+/// a shared epoch (normally the pipeline telemetry's start instant) so
+/// the spans land inside the enclosing `elaborate` stage span in a
+/// Chrome trace. Heap-allocated behind an `Option` so that, like the
+/// explain-trace, it costs nothing when off.
+#[derive(Debug)]
+pub struct GoalSpanLog {
+    epoch: Instant,
+    events: Vec<SpanEvent>,
+}
+
+/// Saturating `u128 -> u64` for nanosecond readings.
+fn saturate_ns(v: u128) -> u64 {
+    u64::try_from(v).unwrap_or(u64::MAX)
+}
+
 /// The memo table for instance resolution: hash-consed goal keys to
 /// completed closed derivations, plus session counters. One cache is
 /// intended to live for a whole elaboration run (and may live longer —
@@ -299,6 +316,17 @@ pub struct ResolveCache {
     /// Explain-trace sink. `None` (the default) means tracing is off
     /// and resolution allocates no trace structures at all.
     pub trace: Option<Box<ResolveTraceLog>>,
+    /// Metrics sink. Off (and allocation-free) by default; enable with
+    /// [`ResolveCache::enable_metrics`] and harvest with
+    /// [`ResolveCache::flush_metrics`].
+    pub metrics: MetricsRegistry,
+    /// Entry cap for the memo table. `None` (the default) means
+    /// unbounded; `Some(n)` evicts an arbitrary tabled derivation
+    /// before each insert that would exceed `n` entries.
+    capacity: Option<usize>,
+    /// Per-goal wall-clock span sink; `None` means span collection is
+    /// off and resolution never reads the clock.
+    goal_spans: Option<Box<GoalSpanLog>>,
 }
 
 impl ResolveCache {
@@ -343,6 +371,69 @@ impl ResolveCache {
     /// Detach the accumulated explain-trace (tracing turns off).
     pub fn take_trace(&mut self) -> Option<ResolveTraceLog> {
         self.trace.take().map(|b| *b)
+    }
+
+    /// Turn on metrics collection. Idempotent; live counters (e.g.
+    /// evictions) and the goal-depth histogram accumulate as
+    /// resolution runs, while table/interner totals are folded in by
+    /// [`ResolveCache::flush_metrics`].
+    pub fn enable_metrics(&mut self) {
+        if !self.metrics.is_enabled() {
+            self.metrics = MetricsRegistry::new();
+        }
+    }
+
+    /// Cap the memo table at `n` entries; inserts beyond the cap evict
+    /// an arbitrary existing entry (counted under
+    /// `resolve.cache.evictions` when metrics are on).
+    pub fn set_capacity(&mut self, n: usize) {
+        self.capacity = Some(n);
+    }
+
+    /// Start recording one wall-clock [`SpanEvent`] per *top-level*
+    /// resolution goal, timed relative to `epoch`. Pass the pipeline
+    /// telemetry's epoch so the spans nest inside the `elaborate`
+    /// stage span in a Chrome trace. Idempotent (keeps the first
+    /// epoch).
+    pub fn enable_goal_spans(&mut self, epoch: Instant) {
+        if self.goal_spans.is_none() {
+            self.goal_spans = Some(Box::new(GoalSpanLog {
+                epoch,
+                events: Vec::new(),
+            }));
+        }
+    }
+
+    /// Detach the accumulated goal spans (span collection turns off).
+    pub fn take_goal_spans(&mut self) -> Vec<SpanEvent> {
+        self.goal_spans.take().map(|b| b.events).unwrap_or_default()
+    }
+
+    /// Fold the session totals — resolution counters, interner
+    /// traffic, and end-of-run table sizes — into the metrics
+    /// registry. Call once, when the cache's session ends: the fold is
+    /// cumulative, so flushing twice double-counts. No-op (and
+    /// allocation-free) when metrics are off.
+    pub fn flush_metrics(&mut self) {
+        if !self.metrics.is_enabled() {
+            return;
+        }
+        self.metrics
+            .add(CounterId::ResolveCacheHits, self.stats.table_hits);
+        self.metrics
+            .add(CounterId::ResolveCacheMisses, self.stats.table_misses);
+        self.metrics.add(CounterId::ResolveGoals, self.stats.goals);
+        self.metrics.add(
+            CounterId::ResolveDictsConstructed,
+            self.stats.dicts_constructed,
+        );
+        let intern = self.interner.stats();
+        self.metrics.add(CounterId::InternHits, intern.hits);
+        self.metrics.add(CounterId::InternFresh, intern.fresh);
+        self.metrics
+            .set_gauge(GaugeId::InternTableSize, self.interner.len() as u64);
+        self.metrics
+            .set_gauge(GaugeId::ResolveCacheEntries, self.table.len() as u64);
     }
 }
 
@@ -393,8 +484,33 @@ impl<'e> Search<'e> {
     /// [`Search::resolve_step`]; with tracing on it brackets the step
     /// with a subgoal-collection frame and records a [`TraceNode`]
     /// labelled with the goal's sequence number, predicate, and how it
-    /// was (or failed to be) discharged.
+    /// was (or failed to be) discharged. Top-level goals (depth 0) are
+    /// additionally wall-clock timed when goal-span collection is on.
     fn resolve(&mut self, pred: &Pred, depth: usize) -> Result<DictDeriv, ResolveError> {
+        let span_start = if depth == 0 && self.cache.goal_spans.is_some() {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        let result = self.resolve_traced(pred, depth);
+        if let Some(start) = span_start {
+            if let Some(log) = self.cache.goal_spans.as_mut() {
+                // `duration_since` saturates to zero if `start` somehow
+                // precedes the epoch — no panic path.
+                log.events.push(SpanEvent {
+                    name: pred.to_string(),
+                    cat: "resolve",
+                    start_ns: saturate_ns(start.duration_since(log.epoch).as_nanos()),
+                    duration_ns: saturate_ns(start.elapsed().as_nanos()),
+                });
+            }
+        }
+        result
+    }
+
+    /// [`Search::resolve`] minus the goal-span bracket: dispatches on
+    /// whether explain-tracing is on.
+    fn resolve_traced(&mut self, pred: &Pred, depth: usize) -> Result<DictDeriv, ResolveError> {
         if !self.tracing {
             let mut via = None;
             return self.resolve_step(pred, depth, &mut via);
@@ -432,6 +548,11 @@ impl<'e> Search<'e> {
         self.steps += 1;
         self.cache.stats.goals += 1;
         self.cache.stats.steps += 1;
+        // One observation per goal: the histogram's count always equals
+        // `stats.goals` for the same session.
+        self.cache
+            .metrics
+            .observe(HistogramId::ResolveGoalDepth, depth as u64);
         let goal_seq = self.cache.stats.goals;
         if self.steps > self.budget.max_steps {
             return Err(ResolveError::BudgetExhausted {
@@ -553,6 +674,19 @@ impl<'e> Search<'e> {
         let mut tabled = false;
         if let Some(key) = cache_key {
             if deriv.is_closed() {
+                // Honour the entry cap: make room by dropping an
+                // arbitrary tabled derivation. Correctness is
+                // unaffected — an evicted goal is simply re-derived.
+                if let Some(cap) = self.cache.capacity {
+                    let cap = cap.max(1);
+                    while self.cache.table.len() >= cap {
+                        let Some(victim) = self.cache.table.keys().next().copied() else {
+                            break;
+                        };
+                        self.cache.table.remove(&victim);
+                        self.cache.metrics.incr(CounterId::ResolveCacheEvictions);
+                    }
+                }
                 // The goal's own entry step plus everything below it.
                 let cost = (self.steps - steps_at_entry).saturating_add(1);
                 self.cache.table.insert(
@@ -1219,5 +1353,98 @@ mod tests {
         s.goals = 10;
         s.table_hits = 9;
         assert!((s.hit_rate() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metrics_agree_with_stats_after_flush() {
+        let e = env();
+        let mut cache = ResolveCache::new();
+        cache.enable_metrics();
+        for depth in [4, 4, 2] {
+            e.resolve_with(&tower(depth), &[], Default::default(), &mut cache)
+                .unwrap();
+        }
+        cache.flush_metrics();
+        let m = &cache.metrics;
+        assert_eq!(
+            m.counter(CounterId::ResolveCacheHits),
+            cache.stats.table_hits
+        );
+        assert_eq!(
+            m.counter(CounterId::ResolveCacheMisses),
+            cache.stats.table_misses
+        );
+        assert_eq!(m.counter(CounterId::ResolveGoals), cache.stats.goals);
+        assert_eq!(
+            m.counter(CounterId::ResolveDictsConstructed),
+            cache.stats.dicts_constructed
+        );
+        assert!(m.counter(CounterId::InternFresh) > 0);
+        assert_eq!(m.gauge(GaugeId::ResolveCacheEntries), cache.len() as u64);
+        // One histogram observation per goal, and the tower goes at
+        // least 4 deep, so some observation sits in a bucket >= 4's.
+        let h = m.histogram(HistogramId::ResolveGoalDepth).expect("on");
+        assert_eq!(h.count, cache.stats.goals);
+        assert!(h.sum > 0, "subgoals run at nonzero depth");
+    }
+
+    #[test]
+    fn metrics_off_by_default_and_allocation_free() {
+        let e = env();
+        let mut cache = ResolveCache::new();
+        e.resolve_with(&tower(3), &[], Default::default(), &mut cache)
+            .unwrap();
+        cache.flush_metrics();
+        assert!(cache.metrics.allocates_nothing());
+        assert_eq!(cache.metrics.counter(CounterId::ResolveGoals), 0);
+    }
+
+    #[test]
+    fn capacity_caps_table_and_counts_evictions() {
+        let e = env();
+        let mut cache = ResolveCache::new();
+        cache.enable_metrics();
+        cache.set_capacity(2);
+        // A depth-6 tower tables one derivation per layer: 7 without a
+        // cap, so the cap must evict.
+        e.resolve_with(&tower(6), &[], Default::default(), &mut cache)
+            .unwrap();
+        assert!(cache.len() <= 2, "table holds {} entries", cache.len());
+        assert!(cache.metrics.counter(CounterId::ResolveCacheEvictions) > 0);
+        // Capped resolution still answers identically to fresh.
+        let fresh = e.resolve(&tower(6), &[], Default::default());
+        let capped = e.resolve_with(&tower(6), &[], Default::default(), &mut cache);
+        assert_eq!(fresh, capped);
+    }
+
+    #[test]
+    fn goal_spans_record_top_level_goals_only() {
+        let e = env();
+        let mut cache = ResolveCache::new();
+        let epoch = Instant::now();
+        cache.enable_goal_spans(epoch);
+        e.resolve_with(&tower(3), &[], Default::default(), &mut cache)
+            .unwrap();
+        e.resolve_with(&tower(1), &[], Default::default(), &mut cache)
+            .unwrap();
+        let spans = cache.take_goal_spans();
+        // One span per *top-level* goal, not per subgoal.
+        assert_eq!(spans.len(), 2, "{spans:?}");
+        assert!(spans.iter().all(|s| s.cat == "resolve"));
+        assert!(spans[0].name.contains("Eq"), "{spans:?}");
+        // Monotone: the second goal starts at or after the first.
+        assert!(spans[1].start_ns >= spans[0].start_ns);
+        // Collection turned itself off with take.
+        assert!(cache.take_goal_spans().is_empty());
+    }
+
+    #[test]
+    fn goal_spans_off_reads_no_clock_state() {
+        let e = env();
+        let mut cache = ResolveCache::new();
+        e.resolve_with(&tower(2), &[], Default::default(), &mut cache)
+            .unwrap();
+        assert!(cache.goal_spans.is_none());
+        assert!(cache.take_goal_spans().is_empty());
     }
 }

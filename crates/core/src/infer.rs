@@ -32,6 +32,7 @@ use tc_classes::{
 };
 use tc_coreir::{CoreExpr, CoreProgram, Literal, PlaceholderKind, PlaceholderTable};
 use tc_syntax::{Diagnostics, Expr, Program, Span, Stage};
+use tc_trace::{MetricsRegistry, SpanEvent};
 use tc_types::{Pred, Qual, Scheme, Subst, TyVar, Type, TypeErrorKind, VarGen};
 
 use crate::builtins::builtin_env;
@@ -50,6 +51,14 @@ pub struct Elaboration {
     /// Explain-trace of every instance resolution, present iff
     /// [`ElabOptions::trace_resolution`] was set.
     pub resolution_trace: Option<ResolveTraceLog>,
+    /// Metrics accumulated by the resolver and interner, populated
+    /// (flushed from the cache) iff [`ElabOptions::collect_metrics`]
+    /// was set; otherwise off and allocation-free.
+    pub metrics: MetricsRegistry,
+    /// One wall-clock span per top-level resolution goal, timed
+    /// against [`ElabOptions::goal_span_epoch`]; empty unless an epoch
+    /// was supplied.
+    pub goal_spans: Vec<SpanEvent>,
 }
 
 /// Knobs for one elaboration run.
@@ -63,6 +72,15 @@ pub struct ElabOptions {
     /// Record an explain-trace of every resolution goal. Off by
     /// default; when off, no trace structures are allocated.
     pub trace_resolution: bool,
+    /// Collect resolver/interner metrics into
+    /// [`Elaboration::metrics`]. Off by default; when off, the
+    /// instrumented paths allocate nothing.
+    pub collect_metrics: bool,
+    /// When set, record one wall-clock [`SpanEvent`] per top-level
+    /// resolution goal relative to this epoch (pass the pipeline
+    /// telemetry's epoch so the spans nest inside the `elaborate`
+    /// stage span of a Chrome trace).
+    pub goal_span_epoch: Option<std::time::Instant>,
 }
 
 impl Default for ElabOptions {
@@ -71,6 +89,8 @@ impl Default for ElabOptions {
             budget: ReduceBudget::default(),
             memoize: true,
             trace_resolution: false,
+            collect_metrics: false,
+            goal_span_epoch: None,
         }
     }
 }
@@ -358,6 +378,12 @@ pub fn elaborate_with(
     if opts.trace_resolution {
         cache.enable_trace();
     }
+    if opts.collect_metrics {
+        cache.enable_metrics();
+    }
+    if let Some(epoch) = opts.goal_span_epoch {
+        cache.enable_goal_spans(epoch);
+    }
     let mut inf = Infer {
         cenv,
         gen,
@@ -622,6 +648,7 @@ pub fn elaborate_with(
         .collect();
 
     let mut cache = inf.cache.into_inner();
+    cache.flush_metrics();
     (
         Elaboration {
             core: CoreProgram {
@@ -631,6 +658,8 @@ pub fn elaborate_with(
             schemes,
             stats: cache.stats,
             resolution_trace: cache.take_trace(),
+            metrics: std::mem::take(&mut cache.metrics),
+            goal_spans: cache.take_goal_spans(),
         },
         inf.diags,
     )

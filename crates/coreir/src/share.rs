@@ -33,6 +33,7 @@
 
 use crate::{pretty, CoreExpr, CoreProgram};
 use std::collections::{BTreeSet, HashMap};
+use tc_trace::{CounterId, HistogramId, MetricsRegistry};
 
 /// Counters from one run of the sharing pass, surfaced by the driver's
 /// `--stats` as "dictionaries constructed vs shared".
@@ -50,7 +51,18 @@ pub struct ShareStats {
 }
 
 /// Run dictionary sharing over every top-level binding in place.
+/// Equivalent to [`share_program_metered`] with metrics off.
 pub fn share_program(prog: &mut CoreProgram) -> ShareStats {
+    share_program_metered(prog, &mut MetricsRegistry::off())
+}
+
+/// Run dictionary sharing, additionally folding per-binding
+/// observations into `metrics`: the `share.dicts_hoisted` /
+/// `share.occurrences_shared` counters and the `share.let_size`
+/// histogram (one observation per binding that hoisted anything — the
+/// number of `$sh…` definitions its `letrec` introduces). Costs one
+/// branch per binding when `metrics` is off.
+pub fn share_program_metered(prog: &mut CoreProgram, metrics: &mut MetricsRegistry) -> ShareStats {
     let mut stats = ShareStats {
         constructions_before: count_constructions(prog),
         ..Default::default()
@@ -59,7 +71,12 @@ pub fn share_program(prog: &mut CoreProgram) -> ShareStats {
         let (hoisted, rewritten) = share_binding(name, expr);
         stats.hoisted_bindings += hoisted;
         stats.occurrences_shared += rewritten;
+        if hoisted > 0 {
+            metrics.observe(HistogramId::ShareLetSize, hoisted);
+        }
     }
+    metrics.add(CounterId::ShareDictsHoisted, stats.hoisted_bindings);
+    metrics.add(CounterId::ShareOccurrencesShared, stats.occurrences_shared);
     stats.constructions_after = count_constructions(prog);
     stats
 }
@@ -412,6 +429,39 @@ mod tests {
                 || printed.contains("$sh1 = ($dict1$Eq$List $sh0)"),
             "{printed}"
         );
+    }
+
+    #[test]
+    fn metered_share_agrees_with_plain_and_fills_metrics() {
+        let body = CoreExpr::apps(var("f"), vec![list_int_dict(), list_int_dict()]);
+        let mut p1 = prog(vec![("main", body.clone())]);
+        let mut p2 = prog(vec![("main", body)]);
+        let plain = share_program(&mut p1);
+        let mut m = MetricsRegistry::new();
+        let metered = share_program_metered(&mut p2, &mut m);
+        assert_eq!(plain, metered);
+        assert_eq!(p1.binds, p2.binds);
+        assert_eq!(
+            m.counter(CounterId::ShareDictsHoisted),
+            metered.hoisted_bindings
+        );
+        assert_eq!(
+            m.counter(CounterId::ShareOccurrencesShared),
+            metered.occurrences_shared
+        );
+        // `unwrap_or_default` keeps the crate panic-free; a disabled
+        // registry would fail the count assertion below anyway.
+        let h = m
+            .histogram(HistogramId::ShareLetSize)
+            .cloned()
+            .unwrap_or_default();
+        assert_eq!(h.count, 1, "one binding hoisted");
+        assert_eq!(h.sum, metered.hoisted_bindings);
+        // With metrics off nothing is allocated.
+        let mut off = MetricsRegistry::off();
+        let mut p3 = prog(vec![("main", CoreExpr::app(var("f"), list_int_dict()))]);
+        share_program_metered(&mut p3, &mut off);
+        assert!(off.allocates_nothing());
     }
 
     #[test]

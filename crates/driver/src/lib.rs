@@ -43,7 +43,9 @@ use tc_coreir::ShareStats;
 use tc_eval::{Budget, EvalError};
 use tc_lint::LintInput;
 use tc_syntax::{Diagnostics, ParseOptions};
-use tc_trace::{JsonWriter, Stage as TraceStage, Telemetry};
+use tc_trace::{
+    CounterId, HistogramId, JsonWriter, MetricsRegistry, SpanEvent, Stage as TraceStage, Telemetry,
+};
 use tc_types::VarGen;
 
 pub use tc_classes::{ResolveStats, ResolveTraceLog};
@@ -92,6 +94,18 @@ pub struct Options {
     /// in [`RunResult::profile`]. Off by default and zero-cost when
     /// off.
     pub profile_eval: bool,
+    /// Collect the whole-pipeline metric catalog — parser recoveries,
+    /// interner traffic, resolver cache counters and goal-depth
+    /// histogram, sharing counters, evaluator counters — into
+    /// [`PipelineStats::metrics`]. Off by default; when off, every
+    /// instrumented path is a single branch and allocates nothing.
+    pub collect_metrics: bool,
+    /// Record one wall-clock span per top-level resolution goal (for
+    /// the Chrome trace export, [`Check::chrome_trace_json`]). Off by
+    /// default and allocation-free when off. Goal spans share the
+    /// telemetry epoch, so enable [`Options::trace_timing`] too if the
+    /// spans should nest inside the stage spans.
+    pub trace_goal_spans: bool,
 }
 
 impl Default for Options {
@@ -107,6 +121,8 @@ impl Default for Options {
             trace_timing: false,
             trace_resolution: false,
             profile_eval: false,
+            collect_metrics: false,
+            trace_goal_spans: false,
         }
     }
 }
@@ -142,13 +158,17 @@ impl Options {
 /// sharing, and — after evaluation — evaluator resource usage.
 /// Rendered by the example runner's `--stats` flag and serialized into
 /// bench reports.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PipelineStats {
     pub resolve: ResolveStats,
     pub share: ShareStats,
     /// Evaluator counters; `None` until the program has been run
     /// (populated by [`run_checked`]).
     pub eval: Option<EvalStats>,
+    /// The whole-pipeline metric catalog; enabled (and populated) iff
+    /// [`Options::collect_metrics`] was set, otherwise off and
+    /// allocation-free.
+    pub metrics: MetricsRegistry,
 }
 
 impl PipelineStats {
@@ -158,6 +178,7 @@ impl PipelineStats {
         w.field_u64("table_hits", self.resolve.table_hits);
         w.field_u64("table_misses", self.resolve.table_misses);
         w.field_f64("hit_rate", self.resolve.hit_rate(), 4);
+        w.field_f64("hit_rate_pct", self.resolve.hit_rate() * 100.0, 1);
         w.field_u64("dicts_constructed", self.resolve.dicts_constructed);
         w.field_u64("resolve_steps", self.resolve.steps);
         w.field_u64("dict_sites_before_sharing", self.share.constructions_before);
@@ -174,6 +195,13 @@ impl PipelineStats {
                 w.end_object();
             }
             None => w.field_null("eval"),
+        }
+        if self.metrics.is_enabled() {
+            w.begin_object_field("metrics");
+            self.metrics.write_json(w);
+            w.end_object();
+        } else {
+            w.field_null("metrics");
         }
     }
 
@@ -206,6 +234,10 @@ pub struct Check {
     /// Per-stage spans and counters; disabled (and allocation-free)
     /// unless [`Options::trace_timing`] was set.
     pub telemetry: Telemetry,
+    /// One wall-clock span per top-level resolution goal, on the same
+    /// epoch as the telemetry stage spans; empty unless
+    /// [`Options::trace_goal_spans`] was set.
+    pub goal_spans: Vec<SpanEvent>,
 }
 
 impl Check {
@@ -230,6 +262,17 @@ impl Check {
     /// `None` unless [`Options::trace_resolution`] was set.
     pub fn render_explain(&self) -> Option<String> {
         self.elab.resolution_trace.as_ref().map(|t| t.render())
+    }
+
+    /// Serialize the run as a Chrome trace-event JSON document —
+    /// loadable in Perfetto / `chrome://tracing` — with one complete
+    /// (`"ph":"X"`) event per pipeline stage span and one per
+    /// top-level resolution goal. Meaningful when
+    /// [`Options::trace_timing`] was set (and
+    /// [`Options::trace_goal_spans`] for the per-goal events); always
+    /// a valid document, possibly with an empty event list.
+    pub fn chrome_trace_json(&self) -> String {
+        tc_trace::chrome_trace_json(&self.telemetry, &self.goal_spans)
     }
 
     /// Pretty-print the whole converted core program (for debugging
@@ -331,10 +374,17 @@ fn compile(src: &str, opts: &Options, lint: bool) -> Check {
     telemetry.record(TraceStage::Lex, timer, diags.len() as u64);
     let mut seen = diags.len();
 
+    let mut metrics = if opts.collect_metrics {
+        MetricsRegistry::new()
+    } else {
+        MetricsRegistry::off()
+    };
+
     let timer = telemetry.start();
-    let (prog, pd) = tc_syntax::parse_program(&toks, opts.parse.clone());
+    let (prog, pd, pstats) = tc_syntax::parse_program_with(&toks, opts.parse.clone());
     diags.extend(pd);
     telemetry.record(TraceStage::Parse, timer, (diags.len() - seen) as u64);
+    metrics.add(CounterId::ParseRecoveries, pstats.recoveries);
     seen = diags.len();
 
     let timer = telemetry.start();
@@ -353,6 +403,13 @@ fn compile(src: &str, opts: &Options, lint: bool) -> Check {
             budget: opts.reduce,
             memoize: opts.memoize_resolution,
             trace_resolution: opts.trace_resolution,
+            collect_metrics: opts.collect_metrics,
+            // Goal spans share the telemetry epoch so they nest inside
+            // the `elaborate` stage span; with timing off they get
+            // their own epoch and still order correctly.
+            goal_span_epoch: opts
+                .trace_goal_spans
+                .then(|| telemetry.epoch().unwrap_or_else(std::time::Instant::now)),
         },
     );
     diags.extend(ed);
@@ -365,7 +422,7 @@ fn compile(src: &str, opts: &Options, lint: bool) -> Check {
     // sharing off, so the stage sequence is stable across configs.
     let timer = telemetry.start();
     let share = if opts.share_dictionaries {
-        tc_coreir::share_program(&mut elab.core)
+        tc_coreir::share_program_metered(&mut elab.core, &mut metrics)
     } else {
         ShareStats::default()
     };
@@ -391,10 +448,17 @@ fn compile(src: &str, opts: &Options, lint: bool) -> Check {
         telemetry.counter("diagnostics", diags.len() as u64);
     }
 
+    // Fold the elaboration's resolver/interner metrics into the
+    // pipeline registry (counters add; gauges and histograms come only
+    // from the elaboration side, so the merge is lossless).
+    metrics.merge(&elab.metrics);
+    let goal_spans = std::mem::take(&mut elab.goal_spans);
+
     let stats = PipelineStats {
         resolve: elab.stats,
         share,
         eval: None,
+        metrics,
     };
     Check {
         full_source,
@@ -403,6 +467,7 @@ fn compile(src: &str, opts: &Options, lint: bool) -> Check {
         diags,
         stats,
         telemetry,
+        goal_spans,
     }
 }
 
@@ -434,15 +499,31 @@ pub fn run_checked(mut check: Check, opts: &Options) -> RunResult {
             None => Outcome::NoMain,
             Some(entry) => {
                 let timer = check.telemetry.start();
+                // Metrics want the per-binding fuel histogram, which
+                // only the profiler collects — profile internally when
+                // metrics are on, but surface the profile to the
+                // caller only when they asked for it.
+                let metrics_on = check.stats.metrics.is_enabled();
                 let run = tc_eval::run_entry_instrumented(
                     &check.elab.core,
                     &entry,
                     opts.budget,
-                    opts.profile_eval,
+                    opts.profile_eval || metrics_on,
                 );
                 check.telemetry.record(TraceStage::Eval, timer, 0);
                 check.stats.eval = Some(run.stats);
-                profile = run.profile;
+                if metrics_on {
+                    let m = &mut check.stats.metrics;
+                    m.add(CounterId::EvalThunksCreated, run.stats.thunks_created);
+                    m.add(CounterId::EvalForces, run.stats.forces);
+                    m.add(CounterId::EvalFuelUsed, run.stats.fuel_used);
+                    if let Some(p) = &run.profile {
+                        for b in &p.bindings {
+                            m.observe(HistogramId::EvalBindingFuel, b.fuel);
+                        }
+                    }
+                }
+                profile = if opts.profile_eval { run.profile } else { None };
                 match run.result {
                     Ok(v) => Outcome::Value(v),
                     Err(e) => Outcome::Eval(e),
@@ -645,6 +726,101 @@ mod tests {
             shared.stats.share.constructions_after < unshared.stats.share.constructions_before
                 || unshared.stats.share.constructions_before == 0,
         );
+    }
+
+    #[test]
+    fn metrics_off_by_default_and_allocation_free() {
+        let r = run("main = eq (cons 1 nil) (cons 1 nil);");
+        assert!(r.check.stats.metrics.allocates_nothing());
+        assert!(r.check.goal_spans.is_empty());
+        // The stats JSON still carries an (explicitly null) metrics field.
+        let json = r.check.stats.to_json();
+        assert!(json.contains("\"metrics\": null"), "{json}");
+    }
+
+    #[test]
+    fn metrics_collect_across_the_whole_pipeline() {
+        let opts = Options {
+            collect_metrics: true,
+            ..Options::default()
+        };
+        let src = "p = eq (cons 1 nil) (cons 2 nil);\n\
+                   q = and (eq (cons 1 nil) nil) (eq (cons 3 nil) nil);\n\
+                   main = q;";
+        let r = run_source(src, &opts);
+        assert!(matches!(r.outcome, Outcome::Value(_)), "{:?}", r.outcome);
+        let stats = &r.check.stats;
+        let m = &stats.metrics;
+        // Resolver metrics agree with the existing counters.
+        assert_eq!(m.counter(CounterId::ResolveGoals), stats.resolve.goals);
+        assert_eq!(
+            m.counter(CounterId::ResolveCacheHits),
+            stats.resolve.table_hits
+        );
+        // Interner, sharing, and evaluator all contributed.
+        assert!(m.counter(CounterId::InternFresh) > 0);
+        assert_eq!(
+            m.counter(CounterId::ShareDictsHoisted),
+            stats.share.hoisted_bindings
+        );
+        let Some(eval) = stats.eval.as_ref() else {
+            panic!("main was evaluated");
+        };
+        assert_eq!(m.counter(CounterId::EvalForces), eval.forces);
+        assert_eq!(m.counter(CounterId::EvalFuelUsed), eval.fuel_used);
+        // The goal-depth histogram saw every goal.
+        let Some(h) = m.histogram(HistogramId::ResolveGoalDepth) else {
+            panic!("metrics are on");
+        };
+        assert_eq!(h.count, stats.resolve.goals);
+        // Per-binding fuel was observed even though no profile is
+        // surfaced (profiling ran internally for the histogram).
+        assert!(r.profile.is_none());
+        let Some(fuel) = m.histogram(HistogramId::EvalBindingFuel) else {
+            panic!("metrics are on");
+        };
+        assert!(fuel.count > 0);
+        // And the JSON form is well-formed with a metrics object.
+        let json = stats.to_json();
+        tc_trace::json::check(&json).unwrap_or_else(|e| panic!("{e}\n{json}"));
+        assert!(json.contains("\"resolve.goals\""), "{json}");
+    }
+
+    #[test]
+    fn metrics_do_not_perturb_results_or_counters() {
+        let src = "main = member 3 (enumFromTo 1 5);";
+        let plain = run_source(src, &Options::default());
+        let metered = run_source(
+            src,
+            &Options {
+                collect_metrics: true,
+                trace_goal_spans: true,
+                ..Options::default()
+            },
+        );
+        let (Outcome::Value(a), Outcome::Value(b)) = (&plain.outcome, &metered.outcome) else {
+            panic!("{:?} / {:?}", plain.outcome, metered.outcome);
+        };
+        assert_eq!(a, b);
+        assert_eq!(plain.check.stats.resolve, metered.check.stats.resolve);
+        assert_eq!(plain.check.stats.share, metered.check.stats.share);
+        assert_eq!(plain.check.stats.eval, metered.check.stats.eval);
+    }
+
+    #[test]
+    fn goal_spans_cover_top_level_goals() {
+        let opts = Options {
+            trace_timing: true,
+            trace_goal_spans: true,
+            ..Options::default()
+        };
+        let c = check_source("main = eq (cons 1 nil) (cons 2 nil);", &opts);
+        assert!(c.ok(), "{}", c.render_diagnostics());
+        assert!(!c.goal_spans.is_empty());
+        assert!(c.goal_spans.iter().all(|s| s.cat == "resolve"));
+        let trace = c.chrome_trace_json();
+        tc_trace::json::check(&trace).unwrap_or_else(|e| panic!("{e}\n{trace}"));
+        assert!(trace.contains("\"ph\": \"X\""), "{trace}");
     }
 
     #[test]

@@ -43,27 +43,50 @@ enum SigOrBinding {
     Binding(Binding),
 }
 
+/// Counters describing one parse: how often the parser had to abandon
+/// a construct and skip to a recovery point. Always on — one integer
+/// add on an already-cold error path — and surfaced through the
+/// metrics registry by the driver (`tc-syntax` stays dependency-free).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParseStats {
+    /// Error-recovery skips: syncs to the next top-level declaration
+    /// or to the next `;` / `}` inside a class or instance body.
+    pub recoveries: u64,
+}
+
 struct Parser<'t> {
     toks: &'t [Token],
     pos: usize,
     depth: usize,
     opts: ParseOptions,
     diags: Diagnostics,
+    stats: ParseStats,
 }
 
 /// Parse a token stream (as produced by [`crate::lex`]) into a
 /// [`Program`], accumulating diagnostics. The returned program contains
 /// every declaration that could be salvaged.
 pub fn parse_program(tokens: &[Token], opts: ParseOptions) -> (Program, Diagnostics) {
+    let (prog, diags, _) = parse_program_with(tokens, opts);
+    (prog, diags)
+}
+
+/// Like [`parse_program`], additionally reporting [`ParseStats`] (the
+/// recovery-event count the metrics registry records).
+pub fn parse_program_with(
+    tokens: &[Token],
+    opts: ParseOptions,
+) -> (Program, Diagnostics, ParseStats) {
     let mut p = Parser {
         toks: tokens,
         pos: 0,
         depth: 0,
         opts,
         diags: Diagnostics::new(),
+        stats: ParseStats::default(),
     };
     let prog = p.program();
-    (prog, p.diags)
+    (prog, p.diags, p.stats)
 }
 
 impl<'t> Parser<'t> {
@@ -195,6 +218,7 @@ impl<'t> Parser<'t> {
     /// Skip tokens until a plausible top-level start or separator.
     /// Always makes progress.
     fn sync_topdecl(&mut self) {
+        self.stats.recoveries = self.stats.recoveries.saturating_add(1);
         loop {
             match self.peek() {
                 TokenKind::Eof | TokenKind::Class | TokenKind::Instance => return,
@@ -220,6 +244,7 @@ impl<'t> Parser<'t> {
     /// closing brace / Eof (not consumed). Always makes progress when
     /// anything is skipped.
     fn sync_in_braces(&mut self) {
+        self.stats.recoveries = self.stats.recoveries.saturating_add(1);
         let mut depth = 0usize;
         loop {
             match self.peek() {
@@ -682,6 +707,22 @@ mod tests {
         let (prog, pdiags) = parse_program(&toks, ParseOptions::default());
         diags.extend(pdiags);
         (prog, diags)
+    }
+
+    #[test]
+    fn parse_stats_count_recoveries() {
+        let (toks, _) = lex("f = 1;\ng = 2;");
+        let (_, diags, stats) = parse_program_with(&toks, ParseOptions::default());
+        assert!(!diags.has_errors());
+        assert_eq!(stats.recoveries, 0, "clean input never recovers");
+
+        // Two broken declarations -> at least two recovery skips.
+        let (toks, _) = lex("f = = 1;\nclass where;\ng = 2;");
+        let (prog, diags, stats) = parse_program_with(&toks, ParseOptions::default());
+        assert!(diags.has_errors());
+        assert!(stats.recoveries >= 2, "{stats:?}");
+        // Recovery still salvages the good declaration.
+        assert!(prog.bindings.iter().any(|b| b.name == "g"));
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! A small, allocation-light JSON writer and a well-formedness
-//! checker.
+//! A small, allocation-light JSON writer, a well-formedness checker,
+//! and a value parser.
 //!
 //! The build environment is offline (no serde), and before this module
 //! existed every JSON emitter in the repository — pipeline stats, the
@@ -8,7 +8,9 @@
 //! to produce (commas and quoting are managed by the writer, strings
 //! are escaped, non-finite floats degrade to `null`), and [`check`]
 //! is a minimal recursive-descent validator the tests and the bench
-//! harness run over every emitted document.
+//! harness run over every emitted document. [`parse`] builds a
+//! [`Value`] tree from a document, for the consumers that read our own
+//! reports back (the bench comparator, trace-format tests).
 
 use std::fmt::Write as _;
 
@@ -363,6 +365,205 @@ impl Checker<'_> {
     }
 }
 
+/// A parsed JSON value. Objects keep insertion order (our documents
+/// are small; linear key lookup is fine and keeps ordering stable for
+/// reports).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on an object (first match; `None` otherwise).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as an integer, when it is one (no fractional
+    /// part, within `u64` range).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(xs) => Some(xs),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document into a [`Value`]. Accepts exactly what
+/// [`check`] accepts (same grammar, same depth limit); numbers are
+/// read as `f64`, which is exact for every integer our writers emit
+/// below 2^53 and a documented approximation beyond.
+pub fn parse(src: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        chk: Checker {
+            bytes: src.as_bytes(),
+            pos: 0,
+        },
+        src,
+    };
+    p.chk.skip_ws();
+    let v = p.value(0)?;
+    p.chk.skip_ws();
+    if p.chk.pos != p.chk.bytes.len() {
+        return Err(p.chk.err("trailing content after the top-level value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    chk: Checker<'a>,
+    src: &'a str,
+}
+
+impl Parser<'_> {
+    fn value(&mut self, depth: usize) -> Result<Value, String> {
+        if depth > CHECK_MAX_DEPTH {
+            return Err(self.chk.err("nesting too deep"));
+        }
+        match self.chk.peek() {
+            Some(b'{') => {
+                self.chk.expect(b'{')?;
+                self.chk.skip_ws();
+                let mut fields = Vec::new();
+                if self.chk.peek() == Some(b'}') {
+                    self.chk.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                loop {
+                    self.chk.skip_ws();
+                    let key = self.string()?;
+                    self.chk.skip_ws();
+                    self.chk.expect(b':')?;
+                    self.chk.skip_ws();
+                    let v = self.value(depth + 1)?;
+                    fields.push((key, v));
+                    self.chk.skip_ws();
+                    match self.chk.peek() {
+                        Some(b',') => self.chk.pos += 1,
+                        Some(b'}') => {
+                            self.chk.pos += 1;
+                            return Ok(Value::Object(fields));
+                        }
+                        _ => return Err(self.chk.err("expected `,` or `}` in object")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.chk.expect(b'[')?;
+                self.chk.skip_ws();
+                let mut items = Vec::new();
+                if self.chk.peek() == Some(b']') {
+                    self.chk.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    self.chk.skip_ws();
+                    items.push(self.value(depth + 1)?);
+                    self.chk.skip_ws();
+                    match self.chk.peek() {
+                        Some(b',') => self.chk.pos += 1,
+                        Some(b']') => {
+                            self.chk.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(self.chk.err("expected `,` or `]` in array")),
+                    }
+                }
+            }
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b't') => self.chk.literal("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.chk.literal("false").map(|()| Value::Bool(false)),
+            Some(b'n') => self.chk.literal("null").map(|()| Value::Null),
+            Some(b'-' | b'0'..=b'9') => {
+                let start = self.chk.pos;
+                self.chk.number()?;
+                let text = &self.src[start..self.chk.pos];
+                text.parse::<f64>()
+                    .map(Value::Num)
+                    .map_err(|e| self.chk.err(&format!("unreadable number `{text}`: {e}")))
+            }
+            Some(_) => Err(self.chk.err("expected a JSON value")),
+            None => Err(self.chk.err("unexpected end of input")),
+        }
+    }
+
+    /// Validate a string with the checker, then unescape the validated
+    /// span (escapes already known good, so decoding is infallible).
+    fn string(&mut self) -> Result<String, String> {
+        let start = self.chk.pos;
+        self.chk.string()?;
+        let raw = &self.src[start + 1..self.chk.pos - 1];
+        let mut out = String::with_capacity(raw.len());
+        let mut chars = raw.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('/') => out.push('/'),
+                Some('b') => out.push('\u{0008}'),
+                Some('f') => out.push('\u{000c}'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('u') => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let d = chars.next().and_then(|h| h.to_digit(16)).unwrap_or(0);
+                        code = code * 16 + d;
+                    }
+                    // Lone surrogates have no char; degrade to U+FFFD
+                    // rather than failing a validated document.
+                    out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                }
+                _ => {}
+            }
+        }
+        Ok(out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -456,5 +657,48 @@ mod tests {
     fn checker_depth_limit_is_an_error_not_a_crash() {
         let deep = "[".repeat(CHECK_MAX_DEPTH + 2) + &"]".repeat(CHECK_MAX_DEPTH + 2);
         assert!(check(&deep).is_err());
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn parser_roundtrips_writer_output() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("name", "deep \"tower\"\n");
+        w.field_u64("goals", 42);
+        w.field_f64("hit_rate", 0.9375, 4);
+        w.field_null("eval");
+        w.field_bool("ok", true);
+        w.begin_array_field("xs");
+        w.elem_u64(1);
+        w.elem_str("two");
+        w.end_array();
+        w.end_object();
+        let v = parse(&w.finish()).unwrap();
+        assert_eq!(
+            v.get("name").and_then(Value::as_str),
+            Some("deep \"tower\"\n")
+        );
+        assert_eq!(v.get("goals").and_then(Value::as_u64), Some(42));
+        assert_eq!(v.get("hit_rate").and_then(Value::as_f64), Some(0.9375));
+        assert_eq!(v.get("eval"), Some(&Value::Null));
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+        let xs = v.get("xs").and_then(Value::as_array).unwrap();
+        assert_eq!(xs.len(), 2);
+        assert_eq!(xs[0].as_u64(), Some(1));
+        assert_eq!(xs[1].as_str(), Some("two"));
+        // Non-integer and negative numbers refuse as_u64.
+        assert_eq!(v.get("hit_rate").and_then(Value::as_u64), None);
+        assert_eq!(parse("-3").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn parser_rejects_what_the_checker_rejects() {
+        for bad in ["{", "[1 2]", "{\"a\" 1}", "01", "\"bad \\q\"", "{} x"] {
+            assert!(parse(bad).is_err(), "accepted: {bad}");
+        }
+        // Escape decoding, including a \u escape.
+        let v = parse("\"a\\u00e9b\\tc\"").unwrap();
+        assert_eq!(v.as_str(), Some("a\u{e9}b\tc"));
     }
 }

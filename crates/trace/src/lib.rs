@@ -14,9 +14,17 @@
 //!   explain-traces to render instance derivations as an indented goal
 //!   tree ([`TraceNode::render`]). Rendering is iterative, so
 //!   adversarially deep derivations cannot overflow the native stack.
-//! * [`json`] — the shared [`json::JsonWriter`] and the
-//!   [`json::check`] well-formedness validator, so stats, trace, and
-//!   bench output cannot drift into invalid JSON.
+//! * [`MetricsRegistry`] — statically-keyed **counters, gauges, and
+//!   log2-bucketed histograms** ([`metrics`]), threaded through every
+//!   crate with the same zero-cost-when-off discipline as telemetry:
+//!   one branch + one add when enabled, no allocation when disabled.
+//! * [`chrome`] — the Chrome trace-event exporter: stage spans and
+//!   per-goal resolution spans ([`SpanEvent`]) as `"ph": "X"` complete
+//!   events, loadable in Perfetto.
+//! * [`json`] — the shared [`json::JsonWriter`], the [`json::check`]
+//!   well-formedness validator, and the [`json::parse`] value parser,
+//!   so stats, trace, and bench output cannot drift into invalid JSON
+//!   and our own reports can be read back (the bench comparator).
 //!
 //! The crate deliberately knows nothing about types, classes, or core
 //! IR: stages describe themselves through [`Stage`] names, labels, and
@@ -25,11 +33,17 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
-#![deny(clippy::panic)]
+#![cfg_attr(not(test), deny(clippy::panic))]
 
+pub mod chrome;
 pub mod json;
+pub mod metrics;
 
+pub use chrome::{chrome_trace_json, SpanEvent};
 pub use json::JsonWriter;
+pub use metrics::{
+    bucket_index, bucket_lo, CounterId, GaugeId, Histogram, HistogramId, MetricsRegistry,
+};
 
 use std::fmt;
 use std::time::Instant;
@@ -130,6 +144,14 @@ impl Telemetry {
 
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// The instant span offsets are measured from (`None` when
+    /// disabled). Other span producers — the resolver's per-goal spans
+    /// — time against this same epoch so their events nest correctly
+    /// inside the stage spans in a Chrome trace.
+    pub fn epoch(&self) -> Option<Instant> {
+        self.epoch
     }
 
     /// True iff the handle is disabled *and* holds no heap memory —

@@ -1,0 +1,597 @@
+//! Statically-keyed pipeline metrics: counters, gauges, and
+//! log2-bucketed histograms.
+//!
+//! Telemetry spans answer "where did the time go"; this module answers
+//! "how much work happened" — cache hits, interner allocations, parser
+//! recoveries, thunks forced. The design constraints mirror
+//! [`crate::Telemetry`]:
+//!
+//! * **Static keys.** Every metric is a variant of [`CounterId`],
+//!   [`GaugeId`], or [`HistogramId`], with its name and unit in a
+//!   compile-time catalog. No string hashing on the hot path, no way
+//!   for two call sites to disagree about a metric's spelling.
+//! * **One branch + one add when enabled.** The registry stores dense
+//!   fixed-size arrays indexed by the id enums; recording is an array
+//!   write behind a single `Option` check.
+//! * **Zero allocation when disabled.** [`MetricsRegistry::off`] holds
+//!   `None`; every record call is a branch and nothing else.
+//!   [`MetricsRegistry::allocates_nothing`] asserts this in tests.
+//!
+//! Histograms use log2 bucketing: value `v` lands in bucket
+//! `bit_length(v)` (0 for `v = 0`), so bucket `i >= 1` covers
+//! `[2^(i-1), 2^i - 1]` and 65 buckets span all of `u64`. Counters
+//! saturate instead of wrapping, so a pathological run can never make
+//! a counter lie small.
+
+use crate::json::JsonWriter;
+
+/// Monotonically increasing event counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterId {
+    /// Resolution goals answered by the memo table in O(1).
+    ResolveCacheHits,
+    /// Cacheable resolution goals derived from scratch.
+    ResolveCacheMisses,
+    /// Memo-table entries discarded to stay under a capacity cap.
+    ResolveCacheEvictions,
+    /// Goals entering the resolver (including subgoals).
+    ResolveGoals,
+    /// Fresh `FromInstance` derivation nodes built.
+    ResolveDictsConstructed,
+    /// Type-node interning requests answered by the hash-cons table.
+    InternHits,
+    /// Type nodes interned fresh (table growth).
+    InternFresh,
+    /// Parser error-recovery skips (sync to the next declaration).
+    ParseRecoveries,
+    /// Shared `$sh…` dictionary bindings hoisted by the CSE pass.
+    ShareDictsHoisted,
+    /// Dictionary construction occurrences rewritten to a shared ref.
+    ShareOccurrencesShared,
+    /// Call-by-need suspensions created by the evaluator.
+    EvalThunksCreated,
+    /// Thunk forces, including cache-hit re-forces.
+    EvalForces,
+    /// Evaluation steps consumed.
+    EvalFuelUsed,
+}
+
+impl CounterId {
+    pub const ALL: [CounterId; 13] = [
+        CounterId::ResolveCacheHits,
+        CounterId::ResolveCacheMisses,
+        CounterId::ResolveCacheEvictions,
+        CounterId::ResolveGoals,
+        CounterId::ResolveDictsConstructed,
+        CounterId::InternHits,
+        CounterId::InternFresh,
+        CounterId::ParseRecoveries,
+        CounterId::ShareDictsHoisted,
+        CounterId::ShareOccurrencesShared,
+        CounterId::EvalThunksCreated,
+        CounterId::EvalForces,
+        CounterId::EvalFuelUsed,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            CounterId::ResolveCacheHits => "resolve.cache.hits",
+            CounterId::ResolveCacheMisses => "resolve.cache.misses",
+            CounterId::ResolveCacheEvictions => "resolve.cache.evictions",
+            CounterId::ResolveGoals => "resolve.goals",
+            CounterId::ResolveDictsConstructed => "resolve.dicts_constructed",
+            CounterId::InternHits => "intern.hits",
+            CounterId::InternFresh => "intern.fresh",
+            CounterId::ParseRecoveries => "parse.recoveries",
+            CounterId::ShareDictsHoisted => "share.dicts_hoisted",
+            CounterId::ShareOccurrencesShared => "share.occurrences_shared",
+            CounterId::EvalThunksCreated => "eval.thunks_created",
+            CounterId::EvalForces => "eval.forces",
+            CounterId::EvalFuelUsed => "eval.fuel_used",
+        }
+    }
+
+    pub fn unit(self) -> &'static str {
+        match self {
+            CounterId::ResolveCacheHits
+            | CounterId::ResolveCacheMisses
+            | CounterId::ResolveGoals => "goals",
+            CounterId::ResolveCacheEvictions => "entries",
+            CounterId::ResolveDictsConstructed | CounterId::ShareDictsHoisted => "dicts",
+            CounterId::InternHits | CounterId::InternFresh => "nodes",
+            CounterId::ParseRecoveries => "events",
+            CounterId::ShareOccurrencesShared => "sites",
+            CounterId::EvalThunksCreated => "thunks",
+            CounterId::EvalForces => "forces",
+            CounterId::EvalFuelUsed => "fuel",
+        }
+    }
+}
+
+/// Point-in-time level measurements (last write wins).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GaugeId {
+    /// Distinct type nodes in the resolver's hash-cons table.
+    InternTableSize,
+    /// Derivations currently tabled in the resolution memo table.
+    ResolveCacheEntries,
+}
+
+impl GaugeId {
+    pub const ALL: [GaugeId; 2] = [GaugeId::InternTableSize, GaugeId::ResolveCacheEntries];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            GaugeId::InternTableSize => "intern.table_size",
+            GaugeId::ResolveCacheEntries => "resolve.cache.entries",
+        }
+    }
+
+    pub fn unit(self) -> &'static str {
+        match self {
+            GaugeId::InternTableSize => "nodes",
+            GaugeId::ResolveCacheEntries => "entries",
+        }
+    }
+}
+
+/// Log2-bucketed value distributions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistogramId {
+    /// Backward-chaining depth at which each resolution goal ran.
+    ResolveGoalDepth,
+    /// Shared bindings per hoisted `letrec` introduced by the CSE pass.
+    ShareLetSize,
+    /// Fuel attributed to each top-level binding by the evaluator.
+    EvalBindingFuel,
+}
+
+impl HistogramId {
+    pub const ALL: [HistogramId; 3] = [
+        HistogramId::ResolveGoalDepth,
+        HistogramId::ShareLetSize,
+        HistogramId::EvalBindingFuel,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            HistogramId::ResolveGoalDepth => "resolve.goal_depth",
+            HistogramId::ShareLetSize => "share.let_size",
+            HistogramId::EvalBindingFuel => "eval.binding_fuel",
+        }
+    }
+
+    pub fn unit(self) -> &'static str {
+        match self {
+            HistogramId::ResolveGoalDepth => "depth",
+            HistogramId::ShareLetSize => "bindings",
+            HistogramId::EvalBindingFuel => "fuel",
+        }
+    }
+}
+
+/// Number of log2 buckets: bucket 0 for zero, buckets 1..=64 for the
+/// 64 possible bit lengths of a nonzero `u64`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// The bucket a value lands in: its bit length (0 for 0). Bucket
+/// `i >= 1` covers `[2^(i-1), 2^i - 1]`; `u64::MAX` lands in bucket 64.
+pub fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// The inclusive lower bound of a bucket (0 for bucket 0, else
+/// `2^(i-1)`).
+pub fn bucket_lo(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else {
+        1u64 << (index - 1)
+    }
+}
+
+/// One log2-bucketed distribution: per-bucket counts plus exact count
+/// and (saturating) sum, so means stay available after bucketing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Histogram {
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    pub count: u64,
+    pub sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Histogram {
+    fn observe(&mut self, value: u64) {
+        let b = bucket_index(value);
+        self.buckets[b] = self.buckets[b].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Mean of observed values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Lower bound of the highest nonempty bucket (`None` when empty).
+    pub fn max_bucket_lo(&self) -> Option<u64> {
+        self.buckets.iter().rposition(|&c| c > 0).map(bucket_lo)
+    }
+}
+
+/// Dense storage behind an enabled registry: one slot per catalog
+/// entry, indexed by the id enums' discriminants via `ALL` position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct MetricsData {
+    counters: [u64; CounterId::ALL.len()],
+    gauges: [u64; GaugeId::ALL.len()],
+    histograms: [Histogram; HistogramId::ALL.len()],
+}
+
+impl Default for MetricsData {
+    fn default() -> Self {
+        MetricsData {
+            counters: [0; CounterId::ALL.len()],
+            gauges: [0; GaugeId::ALL.len()],
+            histograms: [Histogram::default(); HistogramId::ALL.len()],
+        }
+    }
+}
+
+/// The metrics handle threaded through one pipeline run. Disabled (the
+/// default) it is a single `None` — recording costs one branch and
+/// allocates nothing; enabled it is one boxed block of dense arrays.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    data: Option<Box<MetricsData>>,
+}
+
+impl MetricsRegistry {
+    /// An enabled registry (one allocation, the dense metric block).
+    pub fn new() -> Self {
+        MetricsRegistry {
+            data: Some(Box::default()),
+        }
+    }
+
+    /// The disabled registry: records nothing, allocates nothing.
+    pub fn off() -> Self {
+        MetricsRegistry::default()
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.data.is_some()
+    }
+
+    /// True iff the registry is disabled and holds no heap memory —
+    /// the zero-cost-when-off guarantee, asserted by tests.
+    pub fn allocates_nothing(&self) -> bool {
+        self.data.is_none()
+    }
+
+    /// Add to a counter (saturating). No-op when disabled.
+    pub fn add(&mut self, id: CounterId, delta: u64) {
+        if let Some(d) = self.data.as_mut() {
+            let slot = &mut d.counters[id as usize];
+            *slot = slot.saturating_add(delta);
+        }
+    }
+
+    /// Increment a counter by one. No-op when disabled.
+    pub fn incr(&mut self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    /// Set a gauge to its current level. No-op when disabled.
+    pub fn set_gauge(&mut self, id: GaugeId, value: u64) {
+        if let Some(d) = self.data.as_mut() {
+            d.gauges[id as usize] = value;
+        }
+    }
+
+    /// Record one observation into a histogram. No-op when disabled.
+    pub fn observe(&mut self, id: HistogramId, value: u64) {
+        if let Some(d) = self.data.as_mut() {
+            d.histograms[id as usize].observe(value);
+        }
+    }
+
+    /// Current counter value (0 when disabled).
+    pub fn counter(&self, id: CounterId) -> u64 {
+        self.data.as_ref().map_or(0, |d| d.counters[id as usize])
+    }
+
+    /// Current gauge level (0 when disabled).
+    pub fn gauge(&self, id: GaugeId) -> u64 {
+        self.data.as_ref().map_or(0, |d| d.gauges[id as usize])
+    }
+
+    /// A histogram's current state (`None` when disabled).
+    pub fn histogram(&self, id: HistogramId) -> Option<&Histogram> {
+        self.data.as_ref().map(|d| &d.histograms[id as usize])
+    }
+
+    /// Nonzero counters as `(name, value)` pairs, catalog order. Used
+    /// by bench reports, which want compact deterministic output.
+    pub fn counters_snapshot(&self) -> Vec<(&'static str, u64)> {
+        CounterId::ALL
+            .iter()
+            .map(|&id| (id.name(), self.counter(id)))
+            .filter(|&(_, v)| v > 0)
+            .collect()
+    }
+
+    /// Fold another registry's counts into this one: counters add,
+    /// gauges take the other's value when nonzero, histograms merge
+    /// bucket-wise. No-op when either side is disabled.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        let Some(theirs) = other.data.as_ref() else {
+            return;
+        };
+        let Some(ours) = self.data.as_mut() else {
+            return;
+        };
+        for (slot, v) in ours.counters.iter_mut().zip(theirs.counters.iter()) {
+            *slot = slot.saturating_add(*v);
+        }
+        for (slot, v) in ours.gauges.iter_mut().zip(theirs.gauges.iter()) {
+            if *v != 0 {
+                *slot = *v;
+            }
+        }
+        for (h, o) in ours.histograms.iter_mut().zip(theirs.histograms.iter()) {
+            for (b, c) in h.buckets.iter_mut().zip(o.buckets.iter()) {
+                *b = b.saturating_add(*c);
+            }
+            h.count = h.count.saturating_add(o.count);
+            h.sum = h.sum.saturating_add(o.sum);
+        }
+    }
+
+    /// Human-readable metrics table, sorted by metric name:
+    ///
+    /// ```text
+    /// metric                           kind         value unit
+    /// eval.forces                      counter        312 forces
+    /// resolve.goal_depth               histogram  n=41 mean=1.2 max<8 depth
+    /// ```
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut rows: Vec<(&'static str, String, String, &'static str)> = Vec::new();
+        for &id in &CounterId::ALL {
+            rows.push((
+                id.name(),
+                "counter".to_string(),
+                self.counter(id).to_string(),
+                id.unit(),
+            ));
+        }
+        for &id in &GaugeId::ALL {
+            rows.push((
+                id.name(),
+                "gauge".to_string(),
+                self.gauge(id).to_string(),
+                id.unit(),
+            ));
+        }
+        for &id in &HistogramId::ALL {
+            let cell = match self.histogram(id) {
+                Some(h) if h.count > 0 => format!(
+                    "n={} mean={:.1} max<{}",
+                    h.count,
+                    h.mean(),
+                    h.max_bucket_lo()
+                        .map_or(0u128, |lo| u128::from(lo).saturating_mul(2))
+                ),
+                _ => "n=0".to_string(),
+            };
+            rows.push((id.name(), "histogram".to_string(), cell, id.unit()));
+        }
+        rows.sort_by_key(|r| r.0);
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<28} {:<9} {:>24} unit", "metric", "kind", "value");
+        for (name, kind, value, unit) in rows {
+            let _ = writeln!(out, "{name:<28} {kind:<9} {value:>24} {unit}");
+        }
+        out
+    }
+
+    /// Serialize as three fields (`"counters"`, `"gauges"`,
+    /// `"histograms"`) of the writer's current object. Histogram
+    /// buckets are emitted sparsely, keyed by bucket lower bound.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object_field("counters");
+        for &id in &CounterId::ALL {
+            w.field_u64(id.name(), self.counter(id));
+        }
+        w.end_object();
+        w.begin_object_field("gauges");
+        for &id in &GaugeId::ALL {
+            w.field_u64(id.name(), self.gauge(id));
+        }
+        w.end_object();
+        w.begin_object_field("histograms");
+        for &id in &HistogramId::ALL {
+            w.begin_object_field(id.name());
+            let (count, sum) = self.histogram(id).map_or((0, 0), |h| (h.count, h.sum));
+            w.field_u64("count", count);
+            w.field_u64("sum", sum);
+            w.begin_object_field("buckets");
+            if let Some(h) = self.histogram(id) {
+                for (i, &c) in h.buckets.iter().enumerate() {
+                    if c > 0 {
+                        w.field_u64(&bucket_lo(i).to_string(), c);
+                    }
+                }
+            }
+            w.end_object();
+            w.end_object();
+        }
+        w.end_object();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn bucket_boundaries_are_analytic() {
+        // v = 0 is its own bucket; v = 1 is bucket 1; each power of two
+        // opens a new bucket and 2^k + 1 stays inside it.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        for k in 1..63 {
+            let p = 1u64 << k;
+            assert_eq!(bucket_index(p - 1), k, "2^{k} - 1");
+            assert_eq!(bucket_index(p), k + 1, "2^{k}");
+            assert_eq!(bucket_index(p + 1), k + 1, "2^{k} + 1");
+        }
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_index(1u64 << 63), 64);
+        // Lower bounds invert the mapping.
+        assert_eq!(bucket_lo(0), 0);
+        assert_eq!(bucket_lo(1), 1);
+        assert_eq!(bucket_lo(4), 8);
+        assert_eq!(bucket_lo(64), 1u64 << 63);
+        for v in [0u64, 1, 2, 3, 7, 8, 9, 1023, 1024, u64::MAX] {
+            let b = bucket_index(v);
+            assert!(bucket_lo(b) <= v, "{v}");
+            if b < 64 {
+                assert!(v < bucket_lo(b + 1), "{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_observation_lands_in_expected_buckets() {
+        let mut m = MetricsRegistry::new();
+        for v in [0u64, 1, 2, 3, 4, u64::MAX] {
+            m.observe(HistogramId::ResolveGoalDepth, v);
+        }
+        let h = m.histogram(HistogramId::ResolveGoalDepth).unwrap();
+        assert_eq!(h.count, 6);
+        assert_eq!(h.buckets[0], 1); // 0
+        assert_eq!(h.buckets[1], 1); // 1
+        assert_eq!(h.buckets[2], 2); // 2, 3
+        assert_eq!(h.buckets[3], 1); // 4
+        assert_eq!(h.buckets[64], 1); // u64::MAX
+        assert_eq!(h.sum, u64::MAX); // saturated by the MAX observation
+        assert_eq!(h.max_bucket_lo(), Some(1u64 << 63));
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_overflowing() {
+        let mut m = MetricsRegistry::new();
+        m.add(CounterId::EvalFuelUsed, u64::MAX - 1);
+        m.add(CounterId::EvalFuelUsed, 5);
+        assert_eq!(m.counter(CounterId::EvalFuelUsed), u64::MAX);
+        m.incr(CounterId::EvalFuelUsed);
+        assert_eq!(m.counter(CounterId::EvalFuelUsed), u64::MAX);
+        // Histogram count/sum saturate too.
+        m.observe(HistogramId::EvalBindingFuel, u64::MAX);
+        m.observe(HistogramId::EvalBindingFuel, u64::MAX);
+        let h = m.histogram(HistogramId::EvalBindingFuel).unwrap();
+        assert_eq!(h.sum, u64::MAX);
+        assert_eq!(h.count, 2);
+    }
+
+    #[test]
+    fn off_registry_allocates_nothing_and_records_nothing() {
+        let mut m = MetricsRegistry::off();
+        assert!(!m.is_enabled());
+        assert!(m.allocates_nothing());
+        m.incr(CounterId::ResolveGoals);
+        m.add(CounterId::InternFresh, 10);
+        m.set_gauge(GaugeId::InternTableSize, 42);
+        m.observe(HistogramId::ShareLetSize, 7);
+        assert!(m.allocates_nothing(), "recording must not allocate");
+        assert_eq!(m.counter(CounterId::ResolveGoals), 0);
+        assert_eq!(m.gauge(GaugeId::InternTableSize), 0);
+        assert!(m.histogram(HistogramId::ShareLetSize).is_none());
+        assert!(m.counters_snapshot().is_empty());
+    }
+
+    #[test]
+    fn merge_adds_counters_and_buckets() {
+        let mut a = MetricsRegistry::new();
+        a.add(CounterId::EvalForces, 3);
+        a.observe(HistogramId::EvalBindingFuel, 2);
+        let mut b = MetricsRegistry::new();
+        b.add(CounterId::EvalForces, 4);
+        b.set_gauge(GaugeId::ResolveCacheEntries, 9);
+        b.observe(HistogramId::EvalBindingFuel, 1000);
+        a.merge(&b);
+        assert_eq!(a.counter(CounterId::EvalForces), 7);
+        assert_eq!(a.gauge(GaugeId::ResolveCacheEntries), 9);
+        let h = a.histogram(HistogramId::EvalBindingFuel).unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 1002);
+        // Merging into or from a disabled registry is a no-op.
+        let mut off = MetricsRegistry::off();
+        off.merge(&a);
+        assert!(off.allocates_nothing());
+        a.merge(&MetricsRegistry::off());
+        assert_eq!(a.counter(CounterId::EvalForces), 7);
+    }
+
+    #[test]
+    fn catalog_names_are_distinct_and_table_is_sorted() {
+        let mut names: Vec<&str> = CounterId::ALL
+            .iter()
+            .map(|c| c.name())
+            .chain(GaugeId::ALL.iter().map(|g| g.name()))
+            .chain(HistogramId::ALL.iter().map(|h| h.name()))
+            .collect();
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total, "metric names must be unique");
+
+        let m = MetricsRegistry::new();
+        let table = m.render_table();
+        let rows: Vec<&str> = table
+            .lines()
+            .skip(1)
+            .filter_map(|l| l.split_whitespace().next())
+            .collect();
+        let mut sorted = rows.clone();
+        sorted.sort_unstable();
+        assert_eq!(rows, sorted, "table rows must be name-sorted:\n{table}");
+        assert_eq!(rows.len(), total);
+    }
+
+    #[test]
+    fn metrics_json_is_well_formed() {
+        let mut m = MetricsRegistry::new();
+        m.add(CounterId::ResolveCacheHits, 12);
+        m.set_gauge(GaugeId::InternTableSize, 40);
+        m.observe(HistogramId::ResolveGoalDepth, 0);
+        m.observe(HistogramId::ResolveGoalDepth, 5);
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        m.write_json(&mut w);
+        w.end_object();
+        let s = w.finish();
+        json::check(&s).unwrap_or_else(|e| panic!("{e}\n{s}"));
+        assert!(s.contains("\"resolve.cache.hits\": 12"), "{s}");
+        assert!(s.contains("\"intern.table_size\": 40"), "{s}");
+        // Sparse buckets: 0 -> bucket "0", 5 -> bucket lo 4.
+        assert!(s.contains("\"0\": 1"), "{s}");
+        assert!(s.contains("\"4\": 1"), "{s}");
+    }
+}

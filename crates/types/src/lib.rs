@@ -26,7 +26,7 @@ pub mod subst;
 pub mod ty;
 pub mod unify;
 
-pub use intern::{Interner, NameId, TypeId};
+pub use intern::{InternStats, Interner, NameId, TypeId};
 pub use pred::{Pred, Qual};
 pub use scheme::Scheme;
 pub use subst::Subst;

@@ -8,6 +8,8 @@
 //! cargo run --example run -- --stats program.mh    # pipeline stats (JSON, stderr)
 //! cargo run --example run -- --trace --profile program.mh  # timings + hot bindings
 //! cargo run --example run -- --explain program.mh  # resolution derivation trees
+//! cargo run --example run -- --metrics program.mh  # metric counters/histograms (stderr)
+//! cargo run --example run -- --chrome-trace=t.json program.mh  # Perfetto-loadable trace
 //! ```
 //!
 //! Exit codes: 0 success, 1 compile errors, 2 usage/IO errors or
@@ -97,14 +99,36 @@ const FLAGS: &[FlagSpec] = &[
         arg: Some("<file>"),
         help: "write the full run trace as JSON to <file>",
     },
+    FlagSpec {
+        name: "--metrics",
+        arg: None,
+        help: "collect metrics and print the sorted metric table (stderr)",
+    },
+    FlagSpec {
+        name: "--no-metrics",
+        arg: None,
+        help: "disable metrics collection (baseline mode)",
+    },
+    FlagSpec {
+        name: "--chrome-trace",
+        arg: Some("<file>"),
+        help: "write a Chrome trace-event JSON (Perfetto-loadable) to <file>",
+    },
 ];
 
 /// Flag pairs that contradict each other (exit code 2).
-const CONFLICTS: &[(&str, &str, &str)] = &[(
-    "--no-memo",
-    "--explain",
-    "explain traces report memo-hit provenance, which requires the memo table",
-)];
+const CONFLICTS: &[(&str, &str, &str)] = &[
+    (
+        "--no-memo",
+        "--explain",
+        "explain traces report memo-hit provenance, which requires the memo table",
+    ),
+    (
+        "--no-metrics",
+        "--metrics",
+        "the metric table requires metrics collection",
+    ),
+];
 
 fn usage() -> String {
     let mut out = String::from(
@@ -156,7 +180,9 @@ fn main() -> ExitCode {
     let mut explain = false;
     let mut profile = false;
     let mut show_timing = false;
+    let mut metrics = false;
     let mut trace_json_path: Option<String> = None;
+    let mut chrome_trace_path: Option<String> = None;
     let mut path: Option<String> = None;
     let mut seen: Vec<&'static str> = Vec::new();
 
@@ -194,6 +220,16 @@ fn main() -> ExitCode {
             "--profile" => {
                 opts.profile_eval = true;
                 profile = true;
+            }
+            "--metrics" => {
+                opts.collect_metrics = true;
+                metrics = true;
+            }
+            "--no-metrics" => opts.collect_metrics = false,
+            _ if arg.starts_with("--chrome-trace=") => {
+                opts.trace_timing = true;
+                opts.trace_goal_spans = true;
+                chrome_trace_path = Some(arg["--chrome-trace=".len()..].to_string());
             }
             _ if arg.starts_with("--trace-json=") => {
                 opts.trace_timing = true;
@@ -274,6 +310,16 @@ fn main() -> ExitCode {
     // allocations) are included when the program was evaluated.
     if stats {
         eprintln!("{}", r.check.stats.to_json());
+        let rs = &r.check.stats.resolve;
+        eprintln!(
+            "resolution: {} hits / {} misses ({:.1}% hit rate)",
+            rs.table_hits,
+            rs.table_misses,
+            rs.hit_rate() * 100.0
+        );
+    }
+    if metrics {
+        eprint!("{}", r.check.stats.metrics.render_table());
     }
     if show_timing {
         eprint!("{}", r.check.telemetry.render_table());
@@ -286,6 +332,12 @@ fn main() -> ExitCode {
     }
     if let Some(p) = &trace_json_path {
         if let Err(e) = std::fs::write(p, r.trace_json()) {
+            eprintln!("error: cannot write {p}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(p) = &chrome_trace_path {
+        if let Err(e) = std::fs::write(p, r.check.chrome_trace_json()) {
             eprintln!("error: cannot write {p}: {e}");
             return ExitCode::from(2);
         }

@@ -1,0 +1,453 @@
+//! Bench-report comparator: the perf-regression baseline gate.
+//!
+//! [`compare_reports`] diffs two `BENCH_resolve.json` documents (a
+//! committed baseline and a fresh run) and classifies every numeric
+//! field of every workload:
+//!
+//! * **timings** (`nanos_*` fields and everything inside
+//!   `stage_nanos`) are held to a *ratio* tolerance
+//!   ([`Tolerance::nanos_ratio`], default 3x) with an absolute floor
+//!   ([`Tolerance::min_nanos`]) below which readings are considered
+//!   noise and skipped — wall-clock numbers vary wildly across
+//!   machines, so only order-of-magnitude blowups gate;
+//! * **rates** (`hit_rate`, `construction_ratio`) are held to a small
+//!   absolute epsilon ([`Tolerance::rate_epsilon`]) — they are derived
+//!   from deterministic counters, so any real drift is a behavior
+//!   change;
+//! * **everything else** (goal counts, table hits, the `metrics`
+//!   counter object) must match *exactly* — these are deterministic
+//!   invariants of the compiler, and a change in either direction
+//!   means the baseline no longer describes the code.
+//!
+//! A workload present in the baseline but missing from the new report
+//! is itself a regression (lost coverage). Reports from different
+//! modes (`smoke` vs `full`) or iteration counts refuse to compare —
+//! that is an operator error, not a regression.
+//!
+//! The CLI wrapper lives in `benches/compare.rs`
+//! (`cargo bench --bench compare -- <baseline> <current>`); it exits 0
+//! when clean, 1 on regression, 2 on usage/parse errors.
+
+use std::fmt::Write as _;
+use tc_trace::json::{parse, Value};
+
+/// How much slack each class of field gets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// A timing regresses when `new > old * nanos_ratio`.
+    pub nanos_ratio: f64,
+    /// Timings where the baseline reading is below this many
+    /// nanoseconds are skipped as noise.
+    pub min_nanos: u64,
+    /// Absolute slack for `hit_rate` / `construction_ratio`.
+    pub rate_epsilon: f64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Tolerance {
+            nanos_ratio: 3.0,
+            min_nanos: 100_000,
+            rate_epsilon: 0.01,
+        }
+    }
+}
+
+/// One field that moved outside its tolerance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    pub workload: String,
+    pub field: String,
+    pub baseline: f64,
+    pub current: f64,
+    /// Human sentence: which rule tripped and by how much.
+    pub detail: String,
+}
+
+/// The outcome of one comparison: every regression found plus a
+/// rendered per-workload delta report.
+#[derive(Debug, Clone, Default)]
+pub struct Comparison {
+    pub regressions: Vec<Regression>,
+    /// Workloads present in both reports and compared.
+    pub workloads_compared: usize,
+    /// Numeric fields compared (skipped-as-noise timings excluded).
+    pub fields_compared: usize,
+    /// Per-workload delta table, one line per workload.
+    pub report: String,
+}
+
+impl Comparison {
+    /// No regressions?
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Field classes, decided by name and position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum FieldClass {
+    Timing,
+    Rate,
+    Exact,
+}
+
+fn classify(field: &str, inside_stage_nanos: bool) -> FieldClass {
+    if inside_stage_nanos || field.starts_with("nanos") {
+        FieldClass::Timing
+    } else if field == "hit_rate" || field == "construction_ratio" {
+        FieldClass::Rate
+    } else {
+        FieldClass::Exact
+    }
+}
+
+/// Diff two bench-report JSON documents. `Err` means the inputs could
+/// not be compared at all (malformed JSON, wrong shape, mismatched
+/// mode/iters); regressions are reported in the `Ok` payload.
+pub fn compare_reports(
+    baseline_src: &str,
+    current_src: &str,
+    tol: &Tolerance,
+) -> Result<Comparison, String> {
+    let base = parse(baseline_src).map_err(|e| format!("baseline: {e}"))?;
+    let cur = parse(current_src).map_err(|e| format!("current: {e}"))?;
+
+    for key in ["bench", "mode"] {
+        let b = base
+            .get(key)
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("baseline: missing string field \"{key}\""))?;
+        let c = cur
+            .get(key)
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("current: missing string field \"{key}\""))?;
+        if b != c {
+            return Err(format!(
+                "reports are not comparable: \"{key}\" is \"{b}\" in the baseline \
+                 but \"{c}\" in the current run"
+            ));
+        }
+    }
+    let b_iters = base.get("iters").and_then(Value::as_u64);
+    let c_iters = cur.get("iters").and_then(Value::as_u64);
+    if b_iters != c_iters {
+        return Err(format!(
+            "reports are not comparable: iters {b_iters:?} vs {c_iters:?}"
+        ));
+    }
+
+    let base_wl = workloads(&base).map_err(|e| format!("baseline: {e}"))?;
+    let cur_wl = workloads(&cur).map_err(|e| format!("current: {e}"))?;
+
+    let mut cmp = Comparison::default();
+    for (name, old) in &base_wl {
+        let Some((_, new)) = cur_wl.iter().find(|(n, _)| n == name) else {
+            cmp.regressions.push(Regression {
+                workload: name.clone(),
+                field: "<workload>".into(),
+                baseline: 1.0,
+                current: 0.0,
+                detail: "workload missing from the current report".into(),
+            });
+            continue;
+        };
+        cmp.workloads_compared += 1;
+        let before = cmp.regressions.len();
+        compare_object(name, "", old, new, false, tol, &mut cmp);
+        let on_old = old
+            .get("nanos_cache_on")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0);
+        let on_new = new
+            .get("nanos_cache_on")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0);
+        let verdict = if cmp.regressions.len() == before {
+            "ok"
+        } else {
+            "REGRESSED"
+        };
+        let _ = writeln!(
+            cmp.report,
+            "{name:32} nanos_cache_on {:>12.0} -> {:>12.0} ({:+.1}%)  {verdict}",
+            on_old,
+            on_new,
+            if on_old > 0.0 {
+                (on_new - on_old) / on_old * 100.0
+            } else {
+                0.0
+            },
+        );
+    }
+    Ok(cmp)
+}
+
+/// Index a report's `workloads` array by name.
+fn workloads(report: &Value) -> Result<Vec<(String, &Value)>, String> {
+    let arr = report
+        .get("workloads")
+        .and_then(Value::as_array)
+        .ok_or("missing \"workloads\" array")?;
+    let mut out = Vec::with_capacity(arr.len());
+    for w in arr {
+        let name = w
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("workload without a \"name\"")?;
+        out.push((name.to_string(), w));
+    }
+    Ok(out)
+}
+
+/// Compare every field of a workload (or nested) object. `prefix`
+/// dots into nested objects for readable field paths.
+fn compare_object(
+    workload: &str,
+    prefix: &str,
+    old: &Value,
+    new: &Value,
+    inside_stage_nanos: bool,
+    tol: &Tolerance,
+    cmp: &mut Comparison,
+) {
+    let Some(fields) = old.as_object() else {
+        return;
+    };
+    for (key, ov) in fields {
+        if key == "name" {
+            continue;
+        }
+        let path = if prefix.is_empty() {
+            key.clone()
+        } else {
+            format!("{prefix}.{key}")
+        };
+        let nv = new.get(key);
+        match ov {
+            Value::Object(_) => {
+                let Some(nv) = nv else {
+                    cmp.regressions.push(Regression {
+                        workload: workload.into(),
+                        field: path.clone(),
+                        baseline: 1.0,
+                        current: 0.0,
+                        detail: format!("object \"{path}\" missing from the current report"),
+                    });
+                    continue;
+                };
+                compare_object(
+                    workload,
+                    &path,
+                    ov,
+                    nv,
+                    key == "stage_nanos" || inside_stage_nanos,
+                    tol,
+                    cmp,
+                );
+            }
+            Value::Num(old_n) => {
+                let Some(new_n) = nv.and_then(Value::as_f64) else {
+                    cmp.regressions.push(Regression {
+                        workload: workload.into(),
+                        field: path.clone(),
+                        baseline: *old_n,
+                        current: f64::NAN,
+                        detail: format!("numeric field \"{path}\" missing from the current report"),
+                    });
+                    continue;
+                };
+                compare_num(workload, &path, *old_n, new_n, inside_stage_nanos, tol, cmp);
+            }
+            // Strings / bools / nulls / arrays inside a workload are
+            // identity metadata; only numbers gate.
+            _ => {}
+        }
+    }
+}
+
+fn compare_num(
+    workload: &str,
+    field: &str,
+    old: f64,
+    new: f64,
+    inside_stage_nanos: bool,
+    tol: &Tolerance,
+    cmp: &mut Comparison,
+) {
+    match classify(
+        field.rsplit('.').next().unwrap_or(field),
+        inside_stage_nanos,
+    ) {
+        FieldClass::Timing => {
+            if old < tol.min_nanos as f64 {
+                return; // below the noise floor — not compared
+            }
+            cmp.fields_compared += 1;
+            if new > old * tol.nanos_ratio {
+                cmp.regressions.push(Regression {
+                    workload: workload.into(),
+                    field: field.into(),
+                    baseline: old,
+                    current: new,
+                    detail: format!(
+                        "timing {field}: {new:.0}ns exceeds {:.1}x the baseline {old:.0}ns",
+                        tol.nanos_ratio
+                    ),
+                });
+            }
+        }
+        FieldClass::Rate => {
+            cmp.fields_compared += 1;
+            if (new - old).abs() > tol.rate_epsilon {
+                cmp.regressions.push(Regression {
+                    workload: workload.into(),
+                    field: field.into(),
+                    baseline: old,
+                    current: new,
+                    detail: format!(
+                        "rate {field}: {new:.4} drifted more than {:.4} from the baseline {old:.4}",
+                        tol.rate_epsilon
+                    ),
+                });
+            }
+        }
+        FieldClass::Exact => {
+            cmp.fields_compared += 1;
+            if new != old {
+                cmp.regressions.push(Regression {
+                    workload: workload.into(),
+                    field: field.into(),
+                    baseline: old,
+                    current: new,
+                    detail: format!(
+                        "counter {field}: {new} != baseline {old} (deterministic \
+                         invariant changed — investigate, then refresh the baseline)"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"{"bench": "resolve", "mode": "smoke", "iters": 100, "workloads": [
+        {"name": "deep", "goals": 108, "table_hits": 99, "hit_rate": 0.9167,
+         "nanos_cache_on": 1000000, "nanos_cache_off": 2000000,
+         "stage_nanos": {"resolve": 1000000},
+         "metrics": {"resolve.cache.hits": 99, "intern.fresh": 9}},
+        {"name": "wide", "goals": 100, "table_hits": 99, "hit_rate": 0.99,
+         "nanos_cache_on": 50000, "nanos_cache_off": 50000,
+         "stage_nanos": {}, "metrics": {}}
+    ]}"#;
+
+    #[test]
+    fn identical_reports_are_clean() {
+        let c = compare_reports(BASE, BASE, &Tolerance::default()).unwrap();
+        assert!(c.ok(), "{:?}", c.regressions);
+        assert_eq!(c.workloads_compared, 2);
+        assert!(c.fields_compared > 0);
+        assert!(c.report.contains("deep"), "{}", c.report);
+        assert!(c.report.contains("ok"), "{}", c.report);
+    }
+
+    #[test]
+    fn timing_blowup_regresses_but_noise_is_tolerated() {
+        // 2x on a measured timing: inside the default 3x ratio.
+        let within = BASE.replace("\"nanos_cache_on\": 1000000", "\"nanos_cache_on\": 2000000");
+        let c = compare_reports(BASE, &within, &Tolerance::default()).unwrap();
+        assert!(c.ok(), "{:?}", c.regressions);
+        // 10x: over the ratio, regression (in both the top-level field
+        // and the stage_nanos entry).
+        let blowup = BASE
+            .replace(
+                "\"nanos_cache_on\": 1000000",
+                "\"nanos_cache_on\": 10000000",
+            )
+            .replace("{\"resolve\": 1000000}", "{\"resolve\": 10000000}");
+        let c = compare_reports(BASE, &blowup, &Tolerance::default()).unwrap();
+        assert!(!c.ok());
+        assert!(c.regressions.iter().any(|r| r.field == "nanos_cache_on"));
+        assert!(c
+            .regressions
+            .iter()
+            .any(|r| r.field == "stage_nanos.resolve"));
+        // The 50000ns workload is below the default noise floor: a 10x
+        // there does not gate.
+        let noisy = BASE.replace("\"nanos_cache_on\": 50000", "\"nanos_cache_on\": 500000");
+        let c = compare_reports(BASE, &noisy, &Tolerance::default()).unwrap();
+        assert!(c.ok(), "{:?}", c.regressions);
+    }
+
+    #[test]
+    fn counter_changes_regress_exactly() {
+        let drifted = BASE.replace("\"table_hits\": 99,", "\"table_hits\": 98,");
+        let c = compare_reports(BASE, &drifted, &Tolerance::default()).unwrap();
+        assert!(!c.ok());
+        assert!(c.regressions.iter().all(|r| r.field == "table_hits"));
+        // Metrics-object counters are exact too.
+        let m = BASE.replace("\"intern.fresh\": 9", "\"intern.fresh\": 10");
+        let c = compare_reports(BASE, &m, &Tolerance::default()).unwrap();
+        assert!(!c.ok());
+        assert_eq!(c.regressions[0].field, "metrics.intern.fresh");
+    }
+
+    #[test]
+    fn rate_drift_regresses_beyond_epsilon() {
+        let small = BASE.replace("\"hit_rate\": 0.9167", "\"hit_rate\": 0.9166");
+        assert!(compare_reports(BASE, &small, &Tolerance::default())
+            .unwrap()
+            .ok());
+        let big = BASE.replace("\"hit_rate\": 0.9167", "\"hit_rate\": 0.5");
+        let c = compare_reports(BASE, &big, &Tolerance::default()).unwrap();
+        assert!(!c.ok());
+        assert_eq!(c.regressions[0].field, "hit_rate");
+    }
+
+    #[test]
+    fn missing_workload_and_missing_field_regress() {
+        let one = r#"{"bench": "resolve", "mode": "smoke", "iters": 100, "workloads": [
+            {"name": "deep", "goals": 108, "table_hits": 99, "hit_rate": 0.9167,
+             "nanos_cache_on": 1000000, "nanos_cache_off": 2000000,
+             "stage_nanos": {"resolve": 1000000},
+             "metrics": {"resolve.cache.hits": 99, "intern.fresh": 9}}
+        ]}"#;
+        let c = compare_reports(BASE, one, &Tolerance::default()).unwrap();
+        assert!(!c.ok());
+        assert!(c.regressions.iter().any(|r| r.workload == "wide"));
+        let no_goals = BASE.replace("\"goals\": 108, ", "");
+        let c = compare_reports(BASE, &no_goals, &Tolerance::default()).unwrap();
+        assert!(c.regressions.iter().any(|r| r.field == "goals"));
+    }
+
+    #[test]
+    fn incomparable_reports_error_out() {
+        let full = BASE.replace("\"mode\": \"smoke\"", "\"mode\": \"full\"");
+        assert!(compare_reports(BASE, &full, &Tolerance::default()).is_err());
+        let iters = BASE.replace("\"iters\": 100", "\"iters\": 10000");
+        assert!(compare_reports(BASE, &iters, &Tolerance::default()).is_err());
+        assert!(compare_reports(BASE, "not json", &Tolerance::default()).is_err());
+    }
+
+    #[test]
+    fn real_bench_artifact_shape_parses() {
+        // Guard against the comparator and the bench serializer
+        // drifting apart: a row shaped exactly like benches/resolve.rs
+        // emits must compare cleanly against itself.
+        let row = r#"{"bench": "resolve", "mode": "smoke", "iters": 100, "workloads": [
+            {"name": "deep_tower_eq_list8_int", "goals": 108, "table_hits": 99,
+             "table_misses": 9, "hit_rate": 0.9167, "dicts_constructed": 9,
+             "dicts_constructed_cache_off": 900, "construction_ratio": 100.00,
+             "nanos_cache_on": 154610, "nanos_cache_off": 2413485,
+             "stage_nanos": {"resolve": 154610},
+             "metrics": {"resolve.cache.hits": 99, "resolve.cache.misses": 9,
+                         "resolve.goals": 108, "intern.hits": 12, "intern.fresh": 10}}
+        ]}"#;
+        let c = compare_reports(row, row, &Tolerance::default()).unwrap();
+        assert!(c.ok(), "{:?}", c.regressions);
+        assert_eq!(c.workloads_compared, 1);
+    }
+}

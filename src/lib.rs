@@ -9,6 +9,8 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![deny(clippy::panic)]
 
+pub mod compare;
+
 pub use tc_classes as classes;
 pub use tc_core as core_elab;
 pub use tc_coreir as coreir;
@@ -19,6 +21,7 @@ pub use tc_syntax as syntax;
 pub use tc_trace as trace;
 pub use tc_types as types;
 
+pub use compare::{compare_reports, Comparison, Regression, Tolerance};
 pub use tc_driver::{
     check_source, lint_source, run_checked, run_source, Check, Options, Outcome, PipelineStats,
     RunResult, PRELUDE,
@@ -26,4 +29,7 @@ pub use tc_driver::{
 pub use tc_eval::{Budget, EvalError, EvalProfile, EvalStats};
 pub use tc_lint::{LintConfig, Rule};
 pub use tc_syntax::LintLevel;
-pub use tc_trace::{JsonWriter, Stage, StageSpan, Telemetry, TraceNode};
+pub use tc_trace::{
+    bucket_index, chrome_trace_json, CounterId, GaugeId, Histogram, HistogramId, JsonWriter,
+    MetricsRegistry, SpanEvent, Stage, StageSpan, Telemetry, TraceNode,
+};
