@@ -27,6 +27,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 use typeclasses::classes::{build_class_env, ClassEnv, ReduceBudget, ResolveCache};
+use typeclasses::serve::{serve_lines, ServeConfig};
 use typeclasses::syntax::Span;
 use typeclasses::types::{Pred, Type, VarGen};
 use typeclasses::{JsonWriter, Options};
@@ -194,6 +195,90 @@ fn bench_example(name: &'static str, src: &str) -> Row {
     }
 }
 
+/// End-to-end server throughput: the three example programs repeated
+/// `reps` times, pushed through the serve worker pool as one JSONL
+/// batch.
+///
+/// The counters (`programs`, `responses_ok`) are deterministic and
+/// held to exact equality by the baseline gate; `nanos_batch` gets
+/// timing tolerance and `programs_per_sec` gets the one-sided
+/// throughput tolerance (a collapse gates, a speedup never does).
+struct ServeRow {
+    programs: u64,
+    responses_ok: u64,
+    nanos_batch: u128,
+    programs_per_sec: f64,
+}
+
+impl ServeRow {
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.field_str("name", "serve_batch_throughput");
+        w.field_u64("programs", self.programs);
+        w.field_u64("responses_ok", self.responses_ok);
+        w.field_u64("nanos_batch", saturate(self.nanos_batch));
+        w.field_f64("programs_per_sec", self.programs_per_sec, 1);
+        w.end_object();
+    }
+}
+
+fn bench_serve_batch(reps: usize) -> ServeRow {
+    let sources: Vec<String> = [
+        "examples/member.mh",
+        "examples/maxlist.mh",
+        "examples/sumsquares.mh",
+    ]
+    .iter()
+    .map(|path| {
+        std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read {path}: {e} (run from the workspace root)"))
+    })
+    .collect();
+    let mut lines = Vec::new();
+    for i in 0..reps {
+        for (j, src) in sources.iter().enumerate() {
+            let mut w = JsonWriter::new();
+            w.begin_object();
+            w.field_u64("id", (i * sources.len() + j) as u64 + 1);
+            w.field_str("program", src);
+            w.end_object();
+            lines.push(w.finish());
+        }
+    }
+    // The queue holds the whole batch so admission never sheds and the
+    // measurement is pure pipeline + pool overhead.
+    let cfg = ServeConfig {
+        queue_capacity: lines.len().max(64),
+        ..ServeConfig::default()
+    };
+
+    // Best of three batches: the pool's thread spawn/join cost is part
+    // of what we measure, but a single cold run is too noisy to gate on.
+    let mut best_nanos = u128::MAX;
+    let mut responses_ok = 0;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let (out, summary) = serve_lines(&lines, &cfg);
+        let nanos = t0.elapsed().as_nanos();
+        assert_eq!(out.len(), lines.len(), "every request must be answered");
+        assert_eq!(
+            summary.ok(),
+            lines.len() as u64,
+            "examples must all succeed through serve"
+        );
+        responses_ok = summary.ok();
+        best_nanos = best_nanos.min(nanos);
+    }
+
+    let programs = lines.len() as u64;
+    ServeRow {
+        programs,
+        responses_ok,
+        nanos_batch: best_nanos,
+        programs_per_sec: programs as f64 * 1e9 / best_nanos.max(1) as f64,
+    }
+}
+
 const TOWER_SRC: &str = "\
     class Eq a where { eq :: a -> a -> Bool; };\n\
     instance Eq Int where { eq = primEqInt; };\n\
@@ -262,6 +347,9 @@ fn main() {
         rows.push(bench_example(name, &src));
     }
 
+    // End-to-end server throughput over the same example programs.
+    let serve_row = bench_serve_batch(if smoke { 20 } else { 200 });
+
     let mut w = JsonWriter::new();
     w.begin_object();
     w.field_str("bench", "resolve");
@@ -271,6 +359,7 @@ fn main() {
     for r in &rows {
         r.write_json(&mut w);
     }
+    serve_row.write_json(&mut w);
     w.end_array();
     w.end_object();
     let json = w.finish();
@@ -293,5 +382,13 @@ fn main() {
             r.nanos_off as f64 / 1e6,
         );
     }
+    println!(
+        "{:28} programs={:6} ok={:6} batch={:.3}ms throughput={:.0}/s",
+        "serve_batch_throughput",
+        serve_row.programs,
+        serve_row.responses_ok,
+        serve_row.nanos_batch as f64 / 1e6,
+        serve_row.programs_per_sec,
+    );
     println!("wrote BENCH_resolve.json");
 }

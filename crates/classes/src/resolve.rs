@@ -52,7 +52,9 @@ use crate::env::ClassEnv;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::time::Instant;
-use tc_trace::{CounterId, GaugeId, HistogramId, MetricsRegistry, SpanEvent, TraceNode};
+use tc_trace::{
+    CancelToken, CounterId, GaugeId, HistogramId, MetricsRegistry, SpanEvent, TraceNode,
+};
 use tc_types::{Interner, NameId, Pred, Type, TypeId};
 
 /// Limits for one resolution / context-reduction call.
@@ -73,6 +75,12 @@ impl Default for ReduceBudget {
     }
 }
 
+/// The cancellation token is polled once every this many search steps
+/// (must be a power of two). Steps are bounded work, so 64 keeps
+/// deadline latency well under a millisecond without a clock read per
+/// goal.
+const CANCEL_POLL_GOALS: usize = 64;
+
 /// Why a predicate could not be resolved.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ResolveError {
@@ -85,6 +93,9 @@ pub enum ResolveError {
     /// The predicate mentions an unknown class (already reported at
     /// build time; resolution refuses rather than guessing).
     UnknownClass { pred: Pred },
+    /// The session's cancellation token fired (deadline or explicit
+    /// cancellation) while this goal was being resolved.
+    Cancelled { pred: Pred },
 }
 
 impl ResolveError {
@@ -93,7 +104,8 @@ impl ResolveError {
             ResolveError::NoInstance { pred }
             | ResolveError::Cycle { pred, .. }
             | ResolveError::BudgetExhausted { pred, .. }
-            | ResolveError::UnknownClass { pred } => pred,
+            | ResolveError::UnknownClass { pred }
+            | ResolveError::Cancelled { pred } => pred,
         }
     }
 
@@ -107,12 +119,14 @@ impl ResolveError {
     /// | `E0420` | instance resolution is cyclic             |
     /// | `E0421` | resolution depth/step budget exhausted    |
     /// | `E0422` | predicate names an unknown class          |
+    /// | `E0423` | resolution cancelled (deadline)           |
     pub fn code(&self) -> &'static str {
         match self {
             ResolveError::NoInstance { .. } => "E0410",
             ResolveError::Cycle { .. } => "E0420",
             ResolveError::BudgetExhausted { .. } => "E0421",
             ResolveError::UnknownClass { .. } => "E0422",
+            ResolveError::Cancelled { .. } => "E0423",
         }
     }
 }
@@ -142,6 +156,9 @@ impl fmt::Display for ResolveError {
             ),
             ResolveError::UnknownClass { pred } => {
                 write!(f, "`{pred}` refers to an unknown class")
+            }
+            ResolveError::Cancelled { pred } => {
+                write!(f, "instance resolution for `{pred}` cancelled (deadline)")
             }
         }
     }
@@ -327,6 +344,10 @@ pub struct ResolveCache {
     /// Per-goal wall-clock span sink; `None` means span collection is
     /// off and resolution never reads the clock.
     goal_spans: Option<Box<GoalSpanLog>>,
+    /// Cooperative cancellation, polled every [`CANCEL_POLL_GOALS`]
+    /// goals inside the search loop. `None` (the default) costs one
+    /// branch per poll site.
+    cancel: Option<CancelToken>,
 }
 
 impl ResolveCache {
@@ -388,6 +409,12 @@ impl ResolveCache {
     /// `resolve.cache.evictions` when metrics are on).
     pub fn set_capacity(&mut self, n: usize) {
         self.capacity = Some(n);
+    }
+
+    /// Install a cancellation token; subsequent resolutions return
+    /// [`ResolveError::Cancelled`] shortly after it fires.
+    pub fn set_cancel(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
     }
 
     /// Start recording one wall-clock [`SpanEvent`] per *top-level*
@@ -554,6 +581,16 @@ impl<'e> Search<'e> {
             .metrics
             .observe(HistogramId::ResolveGoalDepth, depth as u64);
         let goal_seq = self.cache.stats.goals;
+        // Poll the cancellation token every few goals: cheap enough to
+        // keep deadline latency low (one goal is itself bounded work),
+        // rare enough that the clock read stays off the hot path.
+        if self.steps & (CANCEL_POLL_GOALS - 1) == 0 {
+            if let Some(c) = &self.cache.cancel {
+                if c.is_cancelled() {
+                    return Err(ResolveError::Cancelled { pred: pred.clone() });
+                }
+            }
+        }
         if self.steps > self.budget.max_steps {
             return Err(ResolveError::BudgetExhausted {
                 pred: pred.clone(),
@@ -1446,5 +1483,26 @@ mod tests {
             .unwrap();
         assert!(cache.goal_spans.is_none());
         assert!(cache.take_goal_spans().is_empty());
+    }
+
+    #[test]
+    fn cancellation_interrupts_a_deep_resolution() {
+        let e = env();
+        let budget = ReduceBudget {
+            max_depth: 300,
+            max_steps: 100_000,
+        };
+        // Deep enough that the search passes the 64-step poll point.
+        let goal = tower(200);
+        let mut cache = ResolveCache::new();
+        let token = CancelToken::new();
+        token.cancel();
+        cache.set_cancel(token);
+        let err = e.resolve_with(&goal, &[], budget, &mut cache).unwrap_err();
+        assert!(matches!(err, ResolveError::Cancelled { .. }), "{err:?}");
+        assert_eq!(err.code(), "E0423");
+        // The same goal resolves under the same budget without a token.
+        let mut plain = ResolveCache::new();
+        assert!(e.resolve_with(&goal, &[], budget, &mut plain).is_ok());
     }
 }

@@ -62,7 +62,7 @@ pub struct Elaboration {
 }
 
 /// Knobs for one elaboration run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ElabOptions {
     /// Budget for each resolution / context-reduction call.
     pub budget: ReduceBudget,
@@ -81,6 +81,14 @@ pub struct ElabOptions {
     /// telemetry's epoch so the spans nest inside the `elaborate`
     /// stage span of a Chrome trace).
     pub goal_span_epoch: Option<std::time::Instant>,
+    /// Cooperative cancellation: installed on the resolve cache so a
+    /// deadline interrupts deep instance searches mid-run (surfacing
+    /// as `E0423` diagnostics).
+    pub cancel: Option<tc_trace::CancelToken>,
+    /// Cap the resolve cache's memo table at this many entries
+    /// (`None` = unbounded). Used by servers shedding memory under
+    /// load via [`ResolveCache::set_capacity`].
+    pub cache_capacity: Option<usize>,
 }
 
 impl Default for ElabOptions {
@@ -91,6 +99,8 @@ impl Default for ElabOptions {
             trace_resolution: false,
             collect_metrics: false,
             goal_span_epoch: None,
+            cancel: None,
+            cache_capacity: None,
         }
     }
 }
@@ -383,6 +393,12 @@ pub fn elaborate_with(
     }
     if let Some(epoch) = opts.goal_span_epoch {
         cache.enable_goal_spans(epoch);
+    }
+    if let Some(token) = opts.cancel.clone() {
+        cache.set_cancel(token);
+    }
+    if let Some(cap) = opts.cache_capacity {
+        cache.set_capacity(cap);
     }
     let mut inf = Infer {
         cenv,

@@ -36,23 +36,33 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![cfg_attr(not(test), deny(clippy::panic))]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
-use tc_classes::{build_class_env, ReduceBudget};
+pub mod resilience;
+
+use resilience::{FaultOutcome, FaultSite, Faults};
+use tc_classes::{build_class_env, ClassEnv, ReduceBudget};
 use tc_core::{elaborate_with, ElabOptions, Elaboration};
 use tc_coreir::ShareStats;
-use tc_eval::{Budget, EvalError};
+use tc_eval::{Budget, EvalError, EvalOptions};
 use tc_lint::LintInput;
-use tc_syntax::{Diagnostics, ParseOptions};
+use tc_syntax::{Diagnostics, ParseOptions, Span, Stage as DiagStage};
 use tc_trace::{
-    CounterId, HistogramId, JsonWriter, MetricsRegistry, SpanEvent, Stage as TraceStage, Telemetry,
+    CancelToken, CounterId, HistogramId, JsonWriter, MetricsRegistry, SpanEvent,
+    Stage as TraceStage, Telemetry,
 };
 use tc_types::VarGen;
 
+pub use resilience::FaultPlan;
 pub use tc_classes::{ResolveStats, ResolveTraceLog};
 pub use tc_coreir::ShareStats as DictShareStats;
-pub use tc_eval::{EvalProfile, EvalStats};
+pub use tc_eval::{BudgetSnapshot, EvalProfile, EvalStats};
 pub use tc_lint::{LintConfig, Rule as LintRule};
 pub use tc_syntax::LintLevel;
+
+/// Diagnostic code for a compilation cut short by its deadline (the
+/// resolver's in-flight flavor of the same event is `E0423`).
+pub const CANCELLED_CODE: &str = "E0430";
 
 /// The prelude source spliced in front of user programs.
 pub const PRELUDE: &str = include_str!("prelude.mh");
@@ -106,6 +116,20 @@ pub struct Options {
     /// telemetry epoch, so enable [`Options::trace_timing`] too if the
     /// spans should nest inside the stage spans.
     pub trace_goal_spans: bool,
+    /// Cooperative cancellation token (usually deadline-backed, from
+    /// the serve layer). Checked at stage boundaries, inside the
+    /// resolver's search loop, and inside the evaluator's fuel loop;
+    /// a tripped token yields an `E0430` diagnostic (or a structured
+    /// `cancelled` eval error), never a partial hang. `None` (the
+    /// default) disables every check's slow path.
+    pub cancel: Option<CancelToken>,
+    /// Override the resolution memo-table capacity (graceful
+    /// degradation under load: a smaller table sheds memory, not
+    /// correctness). `None` keeps the cache's own default.
+    pub cache_capacity: Option<usize>,
+    /// Deterministic fault injection for this run; disabled (and one
+    /// branch per site) by default. See [`resilience`].
+    pub faults: Faults,
 }
 
 impl Default for Options {
@@ -123,6 +147,9 @@ impl Default for Options {
             profile_eval: false,
             collect_metrics: false,
             trace_goal_spans: false,
+            cancel: None,
+            cache_capacity: None,
+            faults: Faults::none(),
         }
     }
 }
@@ -350,10 +377,51 @@ impl RunResult {
             Some(d) => w.field_str("detail", d),
             None => w.field_null("detail"),
         }
+        // Structured error shape for machine consumers (the serve
+        // protocol relays these): a stable kebab-case code plus, for
+        // budget errors, where the budget died and what was left.
+        if let Outcome::Eval(e) = &self.outcome {
+            w.field_str("code", e.code());
+            match e.budget() {
+                Some(b) => {
+                    w.begin_object_field("budget");
+                    match &b.binding {
+                        Some(name) => w.field_str("binding", name),
+                        None => w.field_null("binding"),
+                    }
+                    w.field_u64("fuel_left", b.fuel_left);
+                    w.field_u64("allocs_left", b.allocs_left);
+                    w.field_u64("depth", b.depth as u64);
+                    w.end_object();
+                }
+                None => w.field_null("budget"),
+            }
+        }
         w.end_object();
         w.end_object();
         w.finish()
     }
+}
+
+/// Stage-boundary cancellation check. The first tripped check emits
+/// one `E0430` diagnostic and latches `cancelled`, so later
+/// boundaries skip their stages silently instead of piling on
+/// duplicate errors.
+fn deadline_tripped(opts: &Options, diags: &mut Diagnostics, cancelled: &mut bool) -> bool {
+    if *cancelled {
+        return true;
+    }
+    if opts.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+        *cancelled = true;
+        diags.error(
+            DiagStage::Driver,
+            CANCELLED_CODE,
+            "compilation deadline exceeded; remaining stages skipped",
+            Span::DUMMY,
+        );
+        return true;
+    }
+    false
 }
 
 /// Shared pipeline body behind [`check_source`] and [`lint_source`].
@@ -380,56 +448,89 @@ fn compile(src: &str, opts: &Options, lint: bool) -> Check {
         MetricsRegistry::off()
     };
 
+    // Every stage boundary below doubles as a cancellation point: a
+    // deadline that expires mid-pipeline stops the run at the next
+    // boundary with one `E0430` diagnostic, and the skipped stages
+    // leave default (empty) results. Fault sites sit at stage entry,
+    // so an injected panic unwinds out of this function exactly where
+    // a real stage bug would.
+    let mut cancelled = false;
+
     let timer = telemetry.start();
+    let _ = opts.faults.fire(FaultSite::Parse);
     let (prog, pd, pstats) = tc_syntax::parse_program_with(&toks, opts.parse.clone());
     diags.extend(pd);
     telemetry.record(TraceStage::Parse, timer, (diags.len() - seen) as u64);
     metrics.add(CounterId::ParseRecoveries, pstats.recoveries);
     seen = diags.len();
 
-    let timer = telemetry.start();
     let mut gen = VarGen::new();
-    let (cenv, cd) = build_class_env(&prog, &mut gen);
-    diags.extend(cd);
-    telemetry.record(TraceStage::ClassEnv, timer, (diags.len() - seen) as u64);
-    seen = diags.len();
+    let cenv = if deadline_tripped(opts, &mut diags, &mut cancelled) {
+        ClassEnv::default()
+    } else {
+        let timer = telemetry.start();
+        let _ = opts.faults.fire(FaultSite::ClassEnv);
+        let (cenv, cd) = build_class_env(&prog, &mut gen);
+        diags.extend(cd);
+        telemetry.record(TraceStage::ClassEnv, timer, (diags.len() - seen) as u64);
+        seen = diags.len();
+        cenv
+    };
 
-    let timer = telemetry.start();
-    let (mut elab, ed) = elaborate_with(
-        &prog,
-        &cenv,
-        &mut gen,
-        ElabOptions {
-            budget: opts.reduce,
-            memoize: opts.memoize_resolution,
-            trace_resolution: opts.trace_resolution,
-            collect_metrics: opts.collect_metrics,
-            // Goal spans share the telemetry epoch so they nest inside
-            // the `elaborate` stage span; with timing off they get
-            // their own epoch and still order correctly.
-            goal_span_epoch: opts
-                .trace_goal_spans
-                .then(|| telemetry.epoch().unwrap_or_else(std::time::Instant::now)),
-        },
-    );
-    diags.extend(ed);
-    telemetry.record(TraceStage::Elaborate, timer, (diags.len() - seen) as u64);
-    seen = diags.len();
+    let mut elab = if deadline_tripped(opts, &mut diags, &mut cancelled) {
+        Elaboration::default()
+    } else {
+        let timer = telemetry.start();
+        let mut reduce = opts.reduce;
+        if opts.faults.fire(FaultSite::Elaborate) == FaultOutcome::Budget {
+            // Injected budget exhaustion: every nontrivial resolution
+            // goal now fails structurally (E0421), never hangs.
+            reduce = ReduceBudget {
+                max_depth: 1,
+                max_steps: 1,
+            };
+        }
+        let (elab, ed) = elaborate_with(
+            &prog,
+            &cenv,
+            &mut gen,
+            ElabOptions {
+                budget: reduce,
+                memoize: opts.memoize_resolution,
+                trace_resolution: opts.trace_resolution,
+                collect_metrics: opts.collect_metrics,
+                // Goal spans share the telemetry epoch so they nest inside
+                // the `elaborate` stage span; with timing off they get
+                // their own epoch and still order correctly.
+                goal_span_epoch: opts
+                    .trace_goal_spans
+                    .then(|| telemetry.epoch().unwrap_or_else(std::time::Instant::now)),
+                cancel: opts.cancel.clone(),
+                cache_capacity: opts.cache_capacity,
+            },
+        );
+        diags.extend(ed);
+        telemetry.record(TraceStage::Elaborate, timer, (diags.len() - seen) as u64);
+        seen = diags.len();
+        elab
+    };
 
     // Dictionary sharing runs between conversion and linting: `L0007`
     // must see the shared program, or it would report constructions
     // the pass has already hoisted. The span is recorded even with
     // sharing off, so the stage sequence is stable across configs.
     let timer = telemetry.start();
-    let share = if opts.share_dictionaries {
+    let share = if opts.share_dictionaries && !deadline_tripped(opts, &mut diags, &mut cancelled) {
+        let _ = opts.faults.fire(FaultSite::Share);
         tc_coreir::share_program_metered(&mut elab.core, &mut metrics)
     } else {
         ShareStats::default()
     };
     telemetry.record(TraceStage::Share, timer, 0);
 
-    if lint {
+    if lint && !deadline_tripped(opts, &mut diags, &mut cancelled) {
         let timer = telemetry.start();
+        let _ = opts.faults.fire(FaultSite::Lint);
         diags.extend(tc_lint::run_lints(
             &LintInput {
                 program: &prog,
@@ -441,6 +542,10 @@ fn compile(src: &str, opts: &Options, lint: bool) -> Check {
         ));
         telemetry.record(TraceStage::Lint, timer, (diags.len() - seen) as u64);
     }
+
+    // Final boundary: a deadline that expired during the last stage
+    // still surfaces as E0430 (there is no later boundary to catch it).
+    let _ = deadline_tripped(opts, &mut diags, &mut cancelled);
 
     if telemetry.is_enabled() {
         telemetry.counter("core_bindings", elab.core.binds.len() as u64);
@@ -504,11 +609,25 @@ pub fn run_checked(mut check: Check, opts: &Options) -> RunResult {
                 // metrics are on, but surface the profile to the
                 // caller only when they asked for it.
                 let metrics_on = check.stats.metrics.is_enabled();
-                let run = tc_eval::run_entry_instrumented(
+                let mut budget = opts.budget;
+                if opts.faults.fire(FaultSite::Eval) == FaultOutcome::Budget {
+                    // Injected exhaustion: the very first tick trips,
+                    // producing a structured fuel error with a
+                    // zero-remaining budget snapshot.
+                    budget = Budget {
+                        fuel: 1,
+                        max_depth: 1,
+                        max_allocs: 1,
+                    };
+                }
+                let run = tc_eval::run_entry_with(
                     &check.elab.core,
                     &entry,
-                    opts.budget,
-                    opts.profile_eval || metrics_on,
+                    &EvalOptions {
+                        budget,
+                        profile: opts.profile_eval || metrics_on,
+                        cancel: opts.cancel.clone(),
+                    },
                 );
                 check.telemetry.record(TraceStage::Eval, timer, 0);
                 check.stats.eval = Some(run.stats);
@@ -632,10 +751,21 @@ mod tests {
         let opts = Options::default().with_budget(Budget::small());
         let r = run_source("from n = cons n (from (add n 1));\nmain = from 0;", &opts);
         assert!(
-            matches!(r.outcome, Outcome::Eval(EvalError::FuelExhausted)),
+            matches!(r.outcome, Outcome::Eval(EvalError::FuelExhausted(_))),
             "{:?}",
             r.outcome
         );
+        // The budget payload shows an empty tank (fuel died while
+        // rendering, outside any named global, so no binding here)
+        // and the run trace relays the structured shape.
+        let Outcome::Eval(e) = &r.outcome else {
+            unreachable!()
+        };
+        let b = e.budget().expect("fuel errors carry a snapshot");
+        assert_eq!(b.fuel_left, 0);
+        let json = r.trace_json();
+        assert!(json.contains("\"code\": \"fuel-exhausted\""), "{json}");
+        assert!(json.contains("\"fuel_left\": 0"), "{json}");
     }
 
     #[test]
@@ -647,7 +777,7 @@ mod tests {
         assert!(
             matches!(
                 r.outcome,
-                Outcome::Eval(EvalError::FuelExhausted | EvalError::DepthExceeded)
+                Outcome::Eval(EvalError::FuelExhausted(_) | EvalError::DepthExceeded(_))
             ),
             "{:?}",
             r.outcome
@@ -821,6 +951,108 @@ mod tests {
         let trace = c.chrome_trace_json();
         tc_trace::json::check(&trace).unwrap_or_else(|e| panic!("{e}\n{trace}"));
         assert!(trace.contains("\"ph\": \"X\""), "{trace}");
+    }
+
+    #[test]
+    fn pre_expired_deadline_stops_the_pipeline_structurally() {
+        let token = tc_trace::CancelToken::new();
+        token.cancel();
+        let opts = Options {
+            cancel: Some(token),
+            ..Options::default()
+        };
+        let r = run_source("main = member 3 (enumFromTo 1 5);", &opts);
+        assert!(
+            matches!(r.outcome, Outcome::CompileErrors),
+            "{:?}",
+            r.outcome
+        );
+        assert!(
+            r.check.diags.iter().any(|d| d.code == CANCELLED_CODE),
+            "{}",
+            r.check.render_diagnostics()
+        );
+        // Exactly one deadline diagnostic — the latch holds across
+        // every later stage boundary.
+        assert_eq!(
+            r.check
+                .diags
+                .iter()
+                .filter(|d| d.code == CANCELLED_CODE)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn deadline_interrupts_evaluation_with_a_structured_error() {
+        // Compilation beats the deadline; the infinite render then
+        // trips the evaluator's cancellation poll (fuel is ample, so
+        // only the deadline can stop it).
+        let token = tc_trace::CancelToken::with_deadline(std::time::Duration::from_millis(30));
+        let opts = Options {
+            cancel: Some(token),
+            ..Options::default()
+        }
+        .with_budget(Budget {
+            fuel: u64::MAX / 2,
+            max_depth: 200,
+            max_allocs: u64::MAX / 2,
+        });
+        let r = run_source("ones = cons 1 ones;\nmain = ones;", &opts);
+        match &r.outcome {
+            Outcome::Eval(e @ EvalError::Cancelled(_)) => {
+                assert_eq!(e.code(), "cancelled");
+            }
+            other => panic!("expected a cancelled eval error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_panics_unwind_and_are_isolated() {
+        let plan = FaultPlan::parse("elaborate=panic").unwrap();
+        let opts = Options {
+            faults: plan.for_request(0),
+            ..Options::default()
+        };
+        let err = match resilience::isolated(|| run_source("main = 1;", &opts)) {
+            Err(e) => e,
+            Ok(_) => panic!("the injected panic should have unwound"),
+        };
+        assert!(err.starts_with("tc-fault:"), "{err}");
+        assert!(err.contains("elaborate"), "{err}");
+    }
+
+    #[test]
+    fn injected_budget_faults_produce_structured_exhaustion() {
+        // At the elaborate site: resolution budget dies => E0421.
+        let plan = FaultPlan::parse("elaborate=budget").unwrap();
+        let opts = Options {
+            faults: plan.for_request(0),
+            ..Options::default()
+        };
+        let c = check_source("main = eq (cons 1 nil) nil;", &opts);
+        assert!(!c.ok());
+        assert!(
+            c.diags.iter().any(|d| d.code == "E0421"),
+            "{}",
+            c.render_diagnostics()
+        );
+        // At the eval site: the first tick trips fuel.
+        let plan = FaultPlan::parse("eval=budget").unwrap();
+        let opts = Options {
+            faults: plan.for_request(0),
+            ..Options::default()
+        };
+        let r = run_source("main = member 3 (enumFromTo 1 5);", &opts);
+        assert!(
+            matches!(
+                r.outcome,
+                Outcome::Eval(EvalError::FuelExhausted(_) | EvalError::DepthExceeded(_))
+            ),
+            "{:?}",
+            r.outcome
+        );
     }
 
     #[test]

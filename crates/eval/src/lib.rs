@@ -38,6 +38,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 use tc_coreir::{CoreExpr, CoreProgram, Literal};
+use tc_trace::CancelToken;
 
 /// Resource limits for one evaluation session.
 #[derive(Debug, Clone, Copy)]
@@ -76,6 +77,12 @@ impl Budget {
 /// bounded number of native frames, and this keeps worst-case native
 /// stack usage a few megabytes regardless of what the caller asks for.
 pub const DEPTH_CEILING: usize = 10_000;
+
+/// The cancellation token is polled when `fuel_left & MASK == 0`, i.e.
+/// once every 4096 evaluation steps — frequent enough that a deadline
+/// stops a runaway program within microseconds, rare enough that the
+/// clock read never shows up in profiles.
+const CANCEL_POLL_MASK: u64 = 0xFFF;
 
 /// Aggregate resource counters for one evaluation session. Cheap to
 /// collect (always on), snapshotted by [`Evaluator::stats`].
@@ -186,12 +193,34 @@ impl ProfileState {
     }
 }
 
+/// Where the budget stood when a limit tripped: which top-level
+/// binding was being evaluated (innermost attribution, `None` when the
+/// failure happened outside any global's right-hand side) and how much
+/// of each resource remained. Carried in the payload of the budget
+/// [`EvalError`] variants so servers and `--stats` consumers can
+/// report exhaustion structurally instead of scraping messages.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BudgetSnapshot {
+    /// Innermost top-level binding under evaluation, if any.
+    pub binding: Option<String>,
+    /// Fuel remaining (0 for fuel exhaustion, by construction).
+    pub fuel_left: u64,
+    /// Heap-object allocations remaining.
+    pub allocs_left: u64,
+    /// Native nesting depth at the failure point (0 when the failing
+    /// site does not track depth, e.g. allocation).
+    pub depth: usize,
+}
+
 /// Structured evaluation failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EvalError {
-    FuelExhausted,
-    DepthExceeded,
-    AllocationLimit,
+    FuelExhausted(BudgetSnapshot),
+    DepthExceeded(BudgetSnapshot),
+    AllocationLimit(BudgetSnapshot),
+    /// The session's [`CancelToken`] fired (deadline or explicit
+    /// cancellation); the snapshot records how far evaluation got.
+    Cancelled(BudgetSnapshot),
     /// A value's evaluation demanded itself (`let x = x in x`).
     BlackHole,
     UnboundVar(String),
@@ -211,12 +240,54 @@ pub enum EvalError {
     Failure(String),
 }
 
+impl EvalError {
+    /// Stable machine-readable error class, for structured reports
+    /// (serve responses, `--stats` JSON). Kebab-case, never localized.
+    pub fn code(&self) -> &'static str {
+        match self {
+            EvalError::FuelExhausted(_) => "fuel-exhausted",
+            EvalError::DepthExceeded(_) => "depth-exceeded",
+            EvalError::AllocationLimit(_) => "allocation-limit",
+            EvalError::Cancelled(_) => "cancelled",
+            EvalError::BlackHole => "black-hole",
+            EvalError::UnboundVar(_) => "unbound-var",
+            EvalError::NotAFunction => "not-a-function",
+            EvalError::ConditionNotBool => "condition-not-bool",
+            EvalError::NotAnInt => "not-an-int",
+            EvalError::NotABool => "not-a-bool",
+            EvalError::NotAList => "not-a-list",
+            EvalError::BadProjection { .. } => "bad-projection",
+            EvalError::EmptyList(_) => "empty-list",
+            EvalError::DivideByZero => "divide-by-zero",
+            EvalError::IntOverflow => "int-overflow",
+            EvalError::Failure(_) => "failure",
+        }
+    }
+
+    /// The budget snapshot carried by resource-limit and cancellation
+    /// errors (`None` for the type-shaped runtime errors).
+    pub fn budget(&self) -> Option<&BudgetSnapshot> {
+        match self {
+            EvalError::FuelExhausted(s)
+            | EvalError::DepthExceeded(s)
+            | EvalError::AllocationLimit(s)
+            | EvalError::Cancelled(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for EvalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Budget messages deliberately omit the snapshot payload:
+        // remaining-resource numbers differ across resolution modes
+        // for the same program, and the differential suite compares
+        // rendered output mode-against-mode.
         match self {
-            EvalError::FuelExhausted => f.write_str("evaluation fuel exhausted"),
-            EvalError::DepthExceeded => f.write_str("evaluation depth limit exceeded"),
-            EvalError::AllocationLimit => f.write_str("evaluation allocation limit exceeded"),
+            EvalError::FuelExhausted(_) => f.write_str("evaluation fuel exhausted"),
+            EvalError::DepthExceeded(_) => f.write_str("evaluation depth limit exceeded"),
+            EvalError::AllocationLimit(_) => f.write_str("evaluation allocation limit exceeded"),
+            EvalError::Cancelled(_) => f.write_str("evaluation cancelled (deadline)"),
             EvalError::BlackHole => {
                 f.write_str("<<loop>>: value depends on itself while being computed")
             }
@@ -377,6 +448,18 @@ pub struct Evaluator {
     /// Per-binding profiler; `None` (the default) keeps the hot path
     /// at one branch per tick and allocates nothing.
     profile: Option<Box<ProfileState>>,
+    /// Cooperative cancellation, polled every [`CANCEL_POLL_MASK`]+1
+    /// fuel ticks so a deadline stops a runaway evaluation promptly
+    /// without paying a clock read per step.
+    cancel: Option<CancelToken>,
+    /// `Rc` pointer of a global binding's thunk → binding name, kept
+    /// regardless of profiling so budget errors can name the binding
+    /// that was being evaluated.
+    global_names: HashMap<usize, Rc<str>>,
+    /// Global bindings whose right-hand side is currently being
+    /// evaluated, innermost last (the always-on counterpart of
+    /// [`ProfileState::stack`]).
+    binding_stack: Vec<Rc<str>>,
     /// Every thunk ever created. On drop, each is overwritten with a
     /// childless tombstone, severing all links (including `letrec`
     /// cycles) so deep structures are dismantled iteratively.
@@ -410,7 +493,26 @@ impl Evaluator {
             thunks_created: 0,
             forces: 0,
             profile: None,
+            cancel: None,
+            global_names: HashMap::new(),
+            binding_stack: Vec::new(),
             arena: Vec::new(),
+        }
+    }
+
+    /// Install a cancellation token; evaluation returns
+    /// [`EvalError::Cancelled`] shortly after it fires.
+    pub fn set_cancel(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// Where the budget stands right now, for error payloads.
+    fn snapshot(&self, depth: usize) -> BudgetSnapshot {
+        BudgetSnapshot {
+            binding: self.binding_stack.last().map(|n| n.to_string()),
+            fuel_left: self.fuel_left,
+            allocs_left: self.allocs_left,
+            depth,
         }
     }
 
@@ -446,11 +548,18 @@ impl Evaluator {
         Some(EvalProfile { bindings })
     }
 
-    fn tick(&mut self) -> Result<(), EvalError> {
+    fn tick(&mut self, depth: usize) -> Result<(), EvalError> {
         if self.fuel_left == 0 {
-            return Err(EvalError::FuelExhausted);
+            return Err(EvalError::FuelExhausted(self.snapshot(depth)));
         }
         self.fuel_left -= 1;
+        if self.fuel_left & CANCEL_POLL_MASK == 0 {
+            if let Some(c) = &self.cancel {
+                if c.is_cancelled() {
+                    return Err(EvalError::Cancelled(self.snapshot(depth)));
+                }
+            }
+        }
         if let Some(p) = self.profile.as_mut() {
             p.charge_fuel();
         }
@@ -459,14 +568,14 @@ impl Evaluator {
 
     fn check_depth(&self, depth: usize) -> Result<(), EvalError> {
         if depth > self.max_depth {
-            return Err(EvalError::DepthExceeded);
+            return Err(EvalError::DepthExceeded(self.snapshot(depth)));
         }
         Ok(())
     }
 
     fn alloc(&mut self) -> Result<(), EvalError> {
         if self.allocs_left == 0 {
-            return Err(EvalError::AllocationLimit);
+            return Err(EvalError::AllocationLimit(self.snapshot(0)));
         }
         self.allocs_left -= 1;
         Ok(())
@@ -495,6 +604,8 @@ impl Evaluator {
         let e = self.globals.get(name)?.clone();
         let t = self.thunk(e, None).ok()?;
         self.global_cache.insert(name.to_string(), t.clone());
+        self.global_names
+            .insert(Rc::as_ptr(&t) as usize, Rc::from(name));
         if let Some(p) = self.profile.as_mut() {
             let idx = p.entry_index(name);
             p.owner.insert(Rc::as_ptr(&t) as usize, idx);
@@ -511,13 +622,13 @@ impl Evaluator {
     }
 
     fn force(&mut self, t: &ThunkRef, depth: usize) -> Result<Value, EvalError> {
-        self.tick()?;
+        self.tick(depth)?;
         self.check_depth(depth)?;
         self.forces += 1;
+        let key = Rc::as_ptr(t) as usize;
         // Which top-level binding (if any) does this thunk belong to?
         let owner = match self.profile.as_mut() {
             Some(p) => {
-                let key = Rc::as_ptr(t) as usize;
                 let idx = p.owner.get(&key).copied();
                 if let Some(i) = idx {
                     if let Some(e) = p.entries.get_mut(i) {
@@ -536,13 +647,22 @@ impl Evaluator {
             }
             Thunk::Evaluating => Err(EvalError::BlackHole),
             Thunk::Unevaluated(e, env) => {
-                // Charge the binding's right-hand-side work to it.
+                // Attribute the binding's right-hand-side work to it:
+                // always on the name stack (budget-error payloads),
+                // and on the profiler stack when profiling.
+                let global = self.global_names.get(&key).cloned();
+                if let Some(n) = &global {
+                    self.binding_stack.push(n.clone());
+                }
                 if let (Some(p), Some(i)) = (self.profile.as_mut(), owner) {
                     p.stack.push(i);
                 }
                 let v = self.eval(&e, &env, depth + 1);
                 if let (Some(p), Some(_)) = (self.profile.as_mut(), owner) {
                     p.stack.pop();
+                }
+                if global.is_some() {
+                    self.binding_stack.pop();
                 }
                 let v = v?;
                 *t.borrow_mut() = Thunk::Evaluated(v.clone());
@@ -552,7 +672,7 @@ impl Evaluator {
     }
 
     fn eval(&mut self, e: &RExpr, env: &Env, depth: usize) -> Result<Value, EvalError> {
-        self.tick()?;
+        self.tick(depth)?;
         self.check_depth(depth)?;
         match e {
             RExpr::Var(n) => {
@@ -632,7 +752,7 @@ impl Evaluator {
     }
 
     fn apply(&mut self, f: Value, arg: ThunkRef, depth: usize) -> Result<Value, EvalError> {
-        self.tick()?;
+        self.tick(depth)?;
         match f {
             Value::Closure { param, body, env } => {
                 let new_env = self.frame(param, arg, env)?;
@@ -743,7 +863,7 @@ impl Evaluator {
 
     fn show_rec(&mut self, v: &Value, out: &mut String, depth: usize) -> Result<(), EvalError> {
         use std::fmt::Write as _;
-        self.tick()?;
+        self.tick(depth)?;
         self.check_depth(depth)?;
         match v {
             Value::Int(n) => {
@@ -759,7 +879,7 @@ impl Evaluator {
                 let mut head = h0.clone();
                 let mut tail = t0.clone();
                 loop {
-                    self.tick()?;
+                    self.tick(depth)?;
                     let hv = self.force(&head, depth + 1)?;
                     self.show_rec(&hv, out, depth + 1)?;
                     match self.force(&tail, depth + 1)? {
@@ -789,26 +909,59 @@ pub struct EvalRun {
     pub profile: Option<EvalProfile>,
 }
 
+/// Everything configurable about one evaluation session.
+#[derive(Debug, Clone, Default)]
+pub struct EvalOptions {
+    pub budget: Budget,
+    /// Attribute work to top-level bindings ([`EvalRun::profile`]).
+    pub profile: bool,
+    /// Cooperative cancellation; checked before evaluation starts and
+    /// polled inside the fuel loop.
+    pub cancel: Option<CancelToken>,
+}
+
+/// Evaluate `entry` in `prog` under the given options, deep-print the
+/// result, and report resource counters. Stats are meaningful on
+/// error too (they describe the work done up to the failure).
+pub fn run_entry_with(prog: &CoreProgram, entry: &str, opts: &EvalOptions) -> EvalRun {
+    let mut ev = Evaluator::new(prog, opts.budget);
+    if opts.profile {
+        ev.enable_profiling();
+    }
+    if let Some(c) = &opts.cancel {
+        ev.set_cancel(c.clone());
+    }
+    let already_cancelled = opts.cancel.as_ref().is_some_and(|c| c.is_cancelled());
+    let result = if already_cancelled {
+        Err(EvalError::Cancelled(ev.snapshot(0)))
+    } else {
+        ev.eval_entry(entry).and_then(|v| ev.show(&v))
+    };
+    EvalRun {
+        result,
+        stats: ev.stats(),
+        profile: ev.take_profile(),
+    }
+}
+
 /// Evaluate `entry` in `prog`, deep-print the result, and report
 /// resource counters; with `profile` set, also attribute work to
-/// top-level bindings. Stats are meaningful on error too (they
-/// describe the work done up to the failure).
+/// top-level bindings.
 pub fn run_entry_instrumented(
     prog: &CoreProgram,
     entry: &str,
     budget: Budget,
     profile: bool,
 ) -> EvalRun {
-    let mut ev = Evaluator::new(prog, budget);
-    if profile {
-        ev.enable_profiling();
-    }
-    let result = ev.eval_entry(entry).and_then(|v| ev.show(&v));
-    EvalRun {
-        result,
-        stats: ev.stats(),
-        profile: ev.take_profile(),
-    }
+    run_entry_with(
+        prog,
+        entry,
+        &EvalOptions {
+            budget,
+            profile,
+            cancel: None,
+        },
+    )
 }
 
 /// Evaluate `entry` in `prog` and deep-print the result.
@@ -870,7 +1023,10 @@ mod tests {
         )]);
         let err = run_entry(&p, "main", Budget::small()).unwrap_err();
         assert!(
-            matches!(err, EvalError::FuelExhausted | EvalError::AllocationLimit),
+            matches!(
+                err,
+                EvalError::FuelExhausted(_) | EvalError::AllocationLimit(_)
+            ),
             "{err:?}"
         );
     }
@@ -902,7 +1058,10 @@ mod tests {
         let e2 = run_entry(&p, "main", Budget::small()).unwrap_err();
         assert_eq!(e1, e2);
         assert!(
-            matches!(e1, EvalError::FuelExhausted | EvalError::DepthExceeded),
+            matches!(
+                e1,
+                EvalError::FuelExhausted(_) | EvalError::DepthExceeded(_)
+            ),
             "{e1:?}"
         );
     }
@@ -931,7 +1090,10 @@ mod tests {
         ]);
         let err = run_entry(&p, "main", Budget::default()).unwrap_err();
         assert!(
-            matches!(err, EvalError::DepthExceeded | EvalError::FuelExhausted),
+            matches!(
+                err,
+                EvalError::DepthExceeded(_) | EvalError::FuelExhausted(_)
+            ),
             "{err:?}"
         );
     }
@@ -1101,5 +1263,78 @@ mod tests {
             run_entry(&p, "nope", Budget::default()).unwrap_err(),
             EvalError::UnboundVar("nope".into())
         );
+    }
+
+    #[test]
+    fn budget_errors_carry_binding_and_remaining_budget() {
+        // loop = \x -> x x; main = loop loop — fails inside main's rhs.
+        let p = prog(vec![
+            (
+                "loop",
+                C::Lam("x".into(), Box::new(C::app(var("x"), var("x")))),
+            ),
+            ("main", C::app(var("loop"), var("loop"))),
+        ]);
+        let err = run_entry(&p, "main", Budget::small()).unwrap_err();
+        let snap = err.budget().expect("budget error carries a snapshot");
+        assert_eq!(snap.binding.as_deref(), Some("main"), "{snap:?}");
+        match &err {
+            EvalError::FuelExhausted(s) => assert_eq!(s.fuel_left, 0, "{s:?}"),
+            EvalError::DepthExceeded(s) => assert!(s.depth > 0, "{s:?}"),
+            other => unreachable!("unexpected error {other:?}"),
+        }
+        assert!(matches!(err.code(), "fuel-exhausted" | "depth-exceeded"));
+        // Type-shaped errors carry no snapshot.
+        let bad = prog(vec![("main", C::app(int(1), int(2)))]);
+        let e = run_entry(&bad, "main", Budget::default()).unwrap_err();
+        assert!(e.budget().is_none(), "{e:?}");
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_evaluation() {
+        let p = prog(vec![("main", int(1))]);
+        let token = CancelToken::new();
+        token.cancel();
+        let run = run_entry_with(
+            &p,
+            "main",
+            &EvalOptions {
+                cancel: Some(token),
+                ..EvalOptions::default()
+            },
+        );
+        assert!(
+            matches!(run.result, Err(EvalError::Cancelled(_))),
+            "{:?}",
+            run.result
+        );
+        assert_eq!(run.stats.fuel_used, 0, "{:?}", run.stats);
+    }
+
+    #[test]
+    fn cancellation_is_polled_inside_the_fuel_loop() {
+        // Printing a cyclic list burns fuel forever at constant depth
+        // with no allocations, so under a huge budget only the expired
+        // deadline can stop it — via the poll inside the fuel loop.
+        let p = prog(vec![
+            ("ones", C::apps(var("cons"), vec![int(1), var("ones")])),
+            ("main", var("ones")),
+        ]);
+        let budget = Budget {
+            fuel: 100_000_000,
+            max_depth: 2_000,
+            max_allocs: 100_000_000,
+        };
+        let mut ev = Evaluator::new(&p, budget);
+        ev.set_cancel(CancelToken::at(std::time::Instant::now()));
+        let err = ev.eval_entry("main").and_then(|v| ev.show(&v)).unwrap_err();
+        assert!(
+            matches!(err, EvalError::Cancelled(_)),
+            "deadline must interrupt the fuel loop: {err:?}"
+        );
+        assert_eq!(err.code(), "cancelled");
+        // Far more fuel must remain than the poll interval consumed.
+        let snap = err.budget().unwrap();
+        assert!(snap.fuel_left > 99_000_000, "{snap:?}");
     }
 }

@@ -1,0 +1,145 @@
+//! Cooperative cancellation for pipeline runs.
+//!
+//! A [`CancelToken`] is a cheaply clonable handle shared between a
+//! controller (the serve front end, a test harness) and the pipeline
+//! stages doing the work. The controller either calls
+//! [`CancelToken::cancel`] or constructs the token with a deadline;
+//! the workers poll [`CancelToken::is_cancelled`] at stage boundaries
+//! and inside their budget loops and unwind gracefully with a
+//! dedicated error instead of being killed.
+//!
+//! The design constraints match the rest of `tc-trace`:
+//!
+//! * **Cheap to poll.** The fast path is one relaxed atomic load.
+//!   A deadline is only consulted while the flag is still clear, and
+//!   once the deadline trips the flag is latched so later polls are
+//!   loads again.
+//! * **Optional everywhere.** Pipeline code holds an
+//!   `Option<CancelToken>`; `None` costs one branch per poll site.
+//! * **No unwinding.** Cancellation is an ordinary error value
+//!   propagated through the stage result types, never a panic.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A shared cancellation flag with an optional wall-clock deadline.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// A token with no deadline; fires only via [`CancelToken::cancel`].
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+            }),
+        }
+    }
+
+    /// A token that trips once `timeout` has elapsed from now.
+    pub fn with_deadline(timeout: Duration) -> Self {
+        CancelToken::at(Instant::now() + timeout)
+    }
+
+    /// A token that trips at the given instant.
+    pub fn at(deadline: Instant) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(deadline),
+            }),
+        }
+    }
+
+    /// Latch the token; every clone observes the cancellation.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Has the token been cancelled (explicitly or by deadline)?
+    ///
+    /// One relaxed load on the fast path; reads the clock only while
+    /// an unexpired deadline is pending, and latches the flag when the
+    /// deadline trips so subsequent polls are loads again.
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.inner.deadline {
+            Some(d) if Instant::now() >= d => {
+                self.inner.cancelled.store(true, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The wall-clock deadline, if one was set at construction.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+
+    /// Time left until the deadline (`None` when no deadline is set;
+    /// zero once it has passed).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.inner
+            .deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_not_cancelled() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(t.deadline().is_none());
+        assert!(t.remaining().is_none());
+    }
+
+    #[test]
+    fn cancel_is_visible_through_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        t.cancel();
+        assert!(c.is_cancelled());
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn expired_deadline_trips_and_latches() {
+        let t = CancelToken::at(Instant::now() - Duration::from_millis(1));
+        assert!(t.is_cancelled());
+        // Latched: the flag itself is now set.
+        assert!(t.inner.cancelled.load(Ordering::Relaxed));
+        assert_eq!(t.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn future_deadline_does_not_trip_early() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        assert!(t.remaining().is_some_and(|r| r > Duration::ZERO));
+        t.cancel();
+        assert!(t.is_cancelled());
+    }
+}

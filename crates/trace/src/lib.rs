@@ -18,6 +18,10 @@
 //!   log2-bucketed histograms** ([`metrics`]), threaded through every
 //!   crate with the same zero-cost-when-off discipline as telemetry:
 //!   one branch + one add when enabled, no allocation when disabled.
+//! * [`CancelToken`] — a cooperative cancellation flag with an
+//!   optional deadline ([`cancel`]), polled by the resolver and
+//!   evaluator budget loops and at stage boundaries so a server can
+//!   bound a request's wall-clock time without killing threads.
 //! * [`chrome`] — the Chrome trace-event exporter: stage spans and
 //!   per-goal resolution spans ([`SpanEvent`]) as `"ph": "X"` complete
 //!   events, loadable in Perfetto.
@@ -35,10 +39,12 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![cfg_attr(not(test), deny(clippy::panic))]
 
+pub mod cancel;
 pub mod chrome;
 pub mod json;
 pub mod metrics;
 
+pub use cancel::CancelToken;
 pub use chrome::{chrome_trace_json, SpanEvent};
 pub use json::JsonWriter;
 pub use metrics::{

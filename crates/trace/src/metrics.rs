@@ -54,10 +54,28 @@ pub enum CounterId {
     EvalForces,
     /// Evaluation steps consumed.
     EvalFuelUsed,
+    /// Requests admitted to the serve queue.
+    ServeRequests,
+    /// Serve requests answered with a successful pipeline outcome.
+    ServeOk,
+    /// Serve requests that panicked and were isolated (`error:internal`).
+    ServeErrInternal,
+    /// Serve requests cancelled by their deadline (`error:deadline`).
+    ServeErrDeadline,
+    /// Serve requests shed at admission (`error:overloaded`).
+    ServeErrOverloaded,
+    /// Serve requests rejected as malformed (`error:bad-request`).
+    ServeErrBadRequest,
+    /// Requests whose optional traces were shed under queue pressure.
+    ServeDegradedTraces,
+    /// Requests whose resolve-cache capacity was shrunk under pressure.
+    ServeDegradedCache,
+    /// Faults injected by the deterministic fault plan.
+    ServeFaultsInjected,
 }
 
 impl CounterId {
-    pub const ALL: [CounterId; 13] = [
+    pub const ALL: [CounterId; 22] = [
         CounterId::ResolveCacheHits,
         CounterId::ResolveCacheMisses,
         CounterId::ResolveCacheEvictions,
@@ -71,6 +89,15 @@ impl CounterId {
         CounterId::EvalThunksCreated,
         CounterId::EvalForces,
         CounterId::EvalFuelUsed,
+        CounterId::ServeRequests,
+        CounterId::ServeOk,
+        CounterId::ServeErrInternal,
+        CounterId::ServeErrDeadline,
+        CounterId::ServeErrOverloaded,
+        CounterId::ServeErrBadRequest,
+        CounterId::ServeDegradedTraces,
+        CounterId::ServeDegradedCache,
+        CounterId::ServeFaultsInjected,
     ];
 
     pub fn name(self) -> &'static str {
@@ -88,6 +115,15 @@ impl CounterId {
             CounterId::EvalThunksCreated => "eval.thunks_created",
             CounterId::EvalForces => "eval.forces",
             CounterId::EvalFuelUsed => "eval.fuel_used",
+            CounterId::ServeRequests => "serve.requests",
+            CounterId::ServeOk => "serve.ok",
+            CounterId::ServeErrInternal => "serve.err.internal",
+            CounterId::ServeErrDeadline => "serve.err.deadline",
+            CounterId::ServeErrOverloaded => "serve.err.overloaded",
+            CounterId::ServeErrBadRequest => "serve.err.bad_request",
+            CounterId::ServeDegradedTraces => "serve.degraded.traces",
+            CounterId::ServeDegradedCache => "serve.degraded.cache",
+            CounterId::ServeFaultsInjected => "serve.faults_injected",
         }
     }
 
@@ -104,6 +140,15 @@ impl CounterId {
             CounterId::EvalThunksCreated => "thunks",
             CounterId::EvalForces => "forces",
             CounterId::EvalFuelUsed => "fuel",
+            CounterId::ServeRequests
+            | CounterId::ServeOk
+            | CounterId::ServeErrInternal
+            | CounterId::ServeErrDeadline
+            | CounterId::ServeErrOverloaded
+            | CounterId::ServeErrBadRequest
+            | CounterId::ServeDegradedTraces
+            | CounterId::ServeDegradedCache => "requests",
+            CounterId::ServeFaultsInjected => "faults",
         }
     }
 }
@@ -144,13 +189,19 @@ pub enum HistogramId {
     ShareLetSize,
     /// Fuel attributed to each top-level binding by the evaluator.
     EvalBindingFuel,
+    /// End-to-end serve request latency, admission to response.
+    ServeLatencyUs,
+    /// Serve queue occupancy sampled at each admission.
+    ServeQueueDepth,
 }
 
 impl HistogramId {
-    pub const ALL: [HistogramId; 3] = [
+    pub const ALL: [HistogramId; 5] = [
         HistogramId::ResolveGoalDepth,
         HistogramId::ShareLetSize,
         HistogramId::EvalBindingFuel,
+        HistogramId::ServeLatencyUs,
+        HistogramId::ServeQueueDepth,
     ];
 
     pub fn name(self) -> &'static str {
@@ -158,6 +209,8 @@ impl HistogramId {
             HistogramId::ResolveGoalDepth => "resolve.goal_depth",
             HistogramId::ShareLetSize => "share.let_size",
             HistogramId::EvalBindingFuel => "eval.binding_fuel",
+            HistogramId::ServeLatencyUs => "serve.latency_us",
+            HistogramId::ServeQueueDepth => "serve.queue_depth",
         }
     }
 
@@ -166,6 +219,8 @@ impl HistogramId {
             HistogramId::ResolveGoalDepth => "depth",
             HistogramId::ShareLetSize => "bindings",
             HistogramId::EvalBindingFuel => "fuel",
+            HistogramId::ServeLatencyUs => "us",
+            HistogramId::ServeQueueDepth => "requests",
         }
     }
 }

@@ -10,14 +10,16 @@
 //! cargo run --example run -- --explain program.mh  # resolution derivation trees
 //! cargo run --example run -- --metrics program.mh  # metric counters/histograms (stderr)
 //! cargo run --example run -- --chrome-trace=t.json program.mh  # Perfetto-loadable trace
+//! cargo run --example run -- serve --workers=4     # JSONL batch server on stdin/stdout
 //! ```
 //!
 //! Exit codes: 0 success, 1 compile errors, 2 usage/IO errors or
 //! conflicting flags, 3 runtime error.
 
-use std::io::Read;
+use std::io::{Read, Write};
 use std::process::ExitCode;
-use typeclasses::{run_checked, Budget, LintConfig, LintLevel, Options, Outcome};
+use typeclasses::serve::ServeConfig;
+use typeclasses::{run_checked, Budget, FaultPlan, LintConfig, LintLevel, Options, Outcome};
 
 /// One command-line option: its name, argument shape (if any), and
 /// help line. `USAGE` is generated from this table, so the two cannot
@@ -130,11 +132,46 @@ const CONFLICTS: &[(&str, &str, &str)] = &[
     ),
 ];
 
+/// Flags understood by the `serve` subcommand (in addition to the
+/// pipeline baseline flags `--small`, `--no-prelude`, `--no-memo`,
+/// and `--no-share`, which set the base options for every request).
+const SERVE_FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "--workers",
+        arg: Some("<n>"),
+        help: "worker threads (default: cores, capped at 4)",
+    },
+    FlagSpec {
+        name: "--queue",
+        arg: Some("<n>"),
+        help: "admission queue capacity; a full queue sheds (default 64)",
+    },
+    FlagSpec {
+        name: "--deadline-ms",
+        arg: Some("<ms>"),
+        help: "default per-request deadline (requests may override)",
+    },
+    FlagSpec {
+        name: "--faults",
+        arg: Some("<spec>"),
+        help: "deterministic fault injection, e.g. seed=42;elaborate=panic%30",
+    },
+];
+
 fn usage() -> String {
     let mut out = String::from(
-        "usage: run [options] [program.mh]   (reads stdin when no file is given)\n\noptions:\n",
+        "usage: run [options] [program.mh]   (reads stdin when no file is given)\n\
+         \x20      run serve [serve options]   (JSONL requests on stdin, responses on stdout)\n\noptions:\n",
     );
     for f in FLAGS {
+        let left = match f.arg {
+            Some(a) => format!("{}={}", f.name, a),
+            None => f.name.to_string(),
+        };
+        out.push_str(&format!("  {left:<36} {}\n", f.help));
+    }
+    out.push_str("\nserve options:\n");
+    for f in SERVE_FLAGS {
         let left = match f.arg {
             Some(a) => format!("{}={}", f.name, a),
             None => f.name.to_string(),
@@ -172,7 +209,99 @@ fn suggest(unknown: &str) -> Option<&'static str> {
         .map(|(_, n)| n)
 }
 
+/// Write to stdout without panicking when the reader hung up (`head`,
+/// a dead pipe): returns whether the caller should keep emitting.
+/// Rust ignores `SIGPIPE`, so an unguarded `println!` would panic.
+fn emit(text: &str) -> bool {
+    let mut out = std::io::stdout().lock();
+    out.write_all(text.as_bytes())
+        .and_then(|()| out.flush())
+        .is_ok()
+}
+
+/// Parse an unsigned flag value, exiting with usage (code 2) on junk.
+fn parse_num(flag: &str, value: &str) -> Result<u64, ExitCode> {
+    value.parse::<u64>().map_err(|_| {
+        eprintln!("error: bad value for `{flag}`: `{value}` (expected a non-negative integer)");
+        ExitCode::from(2)
+    })
+}
+
+/// The `serve` subcommand: stream JSONL requests from stdin through a
+/// bounded worker pool and answer each one on stdout. A one-line
+/// session summary goes to stderr at EOF.
+fn serve_main(args: &[String]) -> ExitCode {
+    let mut cfg = ServeConfig::default();
+    for arg in args {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            "--small" => cfg.options.budget = Budget::small(),
+            "--no-prelude" => cfg.options.use_prelude = false,
+            "--no-memo" => cfg.options.memoize_resolution = false,
+            "--no-share" => cfg.options.share_dictionaries = false,
+            _ if arg.starts_with("--workers=") => {
+                match parse_num("--workers", &arg["--workers=".len()..]) {
+                    Ok(n) => cfg.workers = (n as usize).max(1),
+                    Err(code) => return code,
+                }
+            }
+            _ if arg.starts_with("--queue=") => {
+                match parse_num("--queue", &arg["--queue=".len()..]) {
+                    Ok(n) => cfg.queue_capacity = (n as usize).max(1),
+                    Err(code) => return code,
+                }
+            }
+            _ if arg.starts_with("--deadline-ms=") => {
+                match parse_num("--deadline-ms", &arg["--deadline-ms=".len()..]) {
+                    Ok(n) => cfg.default_deadline_ms = Some(n),
+                    Err(code) => return code,
+                }
+            }
+            _ if arg.starts_with("--faults=") => {
+                match FaultPlan::parse(&arg["--faults=".len()..]) {
+                    Ok(plan) => cfg.faults = Some(plan),
+                    Err(e) => {
+                        eprintln!("error: bad --faults spec: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            _ => {
+                eprintln!("error: unknown serve option `{arg}`");
+                eprint!("{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let stdin = std::io::stdin().lock();
+    let stdout = std::io::stdout();
+    let summary = typeclasses::serve::serve(stdin, stdout, &cfg);
+    eprintln!(
+        "serve: {} requests ({} ok, {} internal, {} deadline, {} shed, {} bad), {} responses",
+        summary.lines,
+        summary.ok(),
+        summary.internal(),
+        summary.deadline(),
+        summary.shed,
+        summary.bad_requests,
+        summary.responses,
+    );
+    if summary.write_errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        return serve_main(&args[1..]);
+    }
+
     let mut opts = Options::default();
     let mut dump_core = false;
     let mut lint = false;
@@ -186,7 +315,7 @@ fn main() -> ExitCode {
     let mut path: Option<String> = None;
     let mut seen: Vec<&'static str> = Vec::new();
 
-    for arg in std::env::args().skip(1) {
+    for arg in args {
         if let Some(f) = FLAGS
             .iter()
             .find(|f| arg == f.name || arg.starts_with(&format!("{}=", f.name)))
@@ -297,13 +426,16 @@ fn main() -> ExitCode {
     if !r.check.diags.is_empty() {
         eprintln!("{}", r.check.render_diagnostics());
     }
-    if dump_core {
-        println!("{}", r.check.pretty_core());
+    if dump_core && !emit(&format!("{}\n", r.check.pretty_core())) {
+        return ExitCode::SUCCESS;
     }
     if explain {
-        match r.check.render_explain() {
-            Some(t) if !t.is_empty() => print!("{t}"),
-            _ => println!("(no resolution goals)"),
+        let shown = match r.check.render_explain() {
+            Some(t) if !t.is_empty() => emit(&t),
+            _ => emit("(no resolution goals)\n"),
+        };
+        if !shown {
+            return ExitCode::SUCCESS;
         }
     }
     // Stats are printed after the run so evaluator counters (fuel,
@@ -345,7 +477,8 @@ fn main() -> ExitCode {
 
     match r.outcome {
         Outcome::Value(v) => {
-            println!("{v}");
+            // A closed pipe here is the reader's choice, not a failure.
+            let _ = emit(&format!("{v}\n"));
             ExitCode::SUCCESS
         }
         Outcome::NoMain => {

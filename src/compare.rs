@@ -14,6 +14,11 @@
 //!   absolute epsilon ([`Tolerance::rate_epsilon`]) — they are derived
 //!   from deterministic counters, so any real drift is a behavior
 //!   change;
+//! * **throughputs** (fields ending in `per_sec`, e.g. the serve
+//!   pool's `programs_per_sec`) are timings with the axis flipped:
+//!   they regress when the *new* reading falls below the baseline
+//!   divided by [`Tolerance::nanos_ratio`] — higher is better, so
+//!   only collapses gate, not gains;
 //! * **everything else** (goal counts, table hits, the `metrics`
 //!   counter object) must match *exactly* — these are deterministic
 //!   invariants of the compiler, and a change in either direction
@@ -89,6 +94,7 @@ impl Comparison {
 enum FieldClass {
     Timing,
     Rate,
+    Throughput,
     Exact,
 }
 
@@ -97,6 +103,8 @@ fn classify(field: &str, inside_stage_nanos: bool) -> FieldClass {
         FieldClass::Timing
     } else if field == "hit_rate" || field == "construction_ratio" {
         FieldClass::Rate
+    } else if field.ends_with("per_sec") {
+        FieldClass::Throughput
     } else {
         FieldClass::Exact
     }
@@ -297,6 +305,24 @@ fn compare_num(
                 });
             }
         }
+        FieldClass::Throughput => {
+            if old <= 0.0 {
+                return; // nothing measured in the baseline — not compared
+            }
+            cmp.fields_compared += 1;
+            if new < old / tol.nanos_ratio {
+                cmp.regressions.push(Regression {
+                    workload: workload.into(),
+                    field: field.into(),
+                    baseline: old,
+                    current: new,
+                    detail: format!(
+                        "throughput {field}: {new:.0}/s fell below 1/{:.1} of the baseline {old:.0}/s",
+                        tol.nanos_ratio
+                    ),
+                });
+            }
+        }
         FieldClass::Rate => {
             cmp.fields_compared += 1;
             if (new - old).abs() > tol.rate_epsilon {
@@ -405,6 +431,32 @@ mod tests {
         let c = compare_reports(BASE, &big, &Tolerance::default()).unwrap();
         assert!(!c.ok());
         assert_eq!(c.regressions[0].field, "hit_rate");
+    }
+
+    #[test]
+    fn throughput_collapse_regresses_but_gains_do_not() {
+        let base = r#"{"bench": "resolve", "mode": "smoke", "iters": 100, "workloads": [
+            {"name": "serve", "programs": 30, "programs_per_sec": 9000.0,
+             "nanos_batch": 3000000, "stage_nanos": {}, "metrics": {}}
+        ]}"#;
+        // Half the throughput: within the default 3x ratio.
+        let slower = base.replace("9000.0", "4500.0");
+        let c = compare_reports(base, &slower, &Tolerance::default()).unwrap();
+        assert!(c.ok(), "{:?}", c.regressions);
+        // A 10x collapse gates.
+        let collapsed = base.replace("9000.0", "900.0");
+        let c = compare_reports(base, &collapsed, &Tolerance::default()).unwrap();
+        assert!(!c.ok());
+        assert_eq!(c.regressions[0].field, "programs_per_sec");
+        assert!(c.regressions[0].detail.contains("throughput"));
+        // Going faster never regresses.
+        let faster = base.replace("9000.0", "90000.0");
+        let c = compare_reports(base, &faster, &Tolerance::default()).unwrap();
+        assert!(c.ok(), "{:?}", c.regressions);
+        // A zero baseline reading is skipped, not divided by.
+        let zero = base.replace("9000.0", "0.0");
+        let c = compare_reports(&zero, base, &Tolerance::default()).unwrap();
+        assert!(c.ok(), "{:?}", c.regressions);
     }
 
     #[test]

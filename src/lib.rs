@@ -17,19 +17,21 @@ pub use tc_coreir as coreir;
 pub use tc_driver as driver;
 pub use tc_eval as eval;
 pub use tc_lint as lint;
+pub use tc_serve as serve;
 pub use tc_syntax as syntax;
 pub use tc_trace as trace;
 pub use tc_types as types;
 
 pub use compare::{compare_reports, Comparison, Regression, Tolerance};
 pub use tc_driver::{
-    check_source, lint_source, run_checked, run_source, Check, Options, Outcome, PipelineStats,
-    RunResult, PRELUDE,
+    check_source, lint_source, run_checked, run_source, Check, FaultPlan, Options, Outcome,
+    PipelineStats, RunResult, CANCELLED_CODE, PRELUDE,
 };
-pub use tc_eval::{Budget, EvalError, EvalProfile, EvalStats};
+pub use tc_eval::{Budget, BudgetSnapshot, EvalError, EvalProfile, EvalStats};
 pub use tc_lint::{LintConfig, Rule};
+pub use tc_serve::{ServeConfig, ServeSummary};
 pub use tc_syntax::LintLevel;
 pub use tc_trace::{
-    bucket_index, chrome_trace_json, CounterId, GaugeId, Histogram, HistogramId, JsonWriter,
-    MetricsRegistry, SpanEvent, Stage, StageSpan, Telemetry, TraceNode,
+    bucket_index, chrome_trace_json, CancelToken, CounterId, GaugeId, Histogram, HistogramId,
+    JsonWriter, MetricsRegistry, SpanEvent, Stage, StageSpan, Telemetry, TraceNode,
 };

@@ -103,7 +103,7 @@ fn forcing_a_deep_global_chain_is_depth_limited() {
     src.push_str("main = a2999;\n");
     let out = bounded_with(src, Options::default());
     assert!(
-        matches!(out, Outcome::Eval(EvalError::DepthExceeded)),
+        matches!(out, Outcome::Eval(EvalError::DepthExceeded(_))),
         "{out:?}"
     );
 }
@@ -170,7 +170,7 @@ fn infinite_loop_is_budgeted() {
     assert!(
         matches!(
             out,
-            Outcome::Eval(EvalError::FuelExhausted | EvalError::DepthExceeded)
+            Outcome::Eval(EvalError::FuelExhausted(_) | EvalError::DepthExceeded(_))
         ),
         "{out:?}"
     );
@@ -180,7 +180,7 @@ fn infinite_loop_is_budgeted() {
 fn rendering_infinite_list_exhausts_fuel() {
     let out = small("from n = cons n (from (add n 1));\nmain = from 0;");
     assert!(
-        matches!(out, Outcome::Eval(EvalError::FuelExhausted)),
+        matches!(out, Outcome::Eval(EvalError::FuelExhausted(_))),
         "{out:?}"
     );
 }
@@ -192,7 +192,9 @@ fn allocation_bomb_is_budgeted() {
         matches!(
             out,
             Outcome::Eval(
-                EvalError::FuelExhausted | EvalError::AllocationLimit | EvalError::DepthExceeded
+                EvalError::FuelExhausted(_)
+                    | EvalError::AllocationLimit(_)
+                    | EvalError::DepthExceeded(_)
             )
         ),
         "{out:?}"
@@ -205,7 +207,7 @@ fn deep_guest_recursion_is_depth_limited() {
     assert!(
         matches!(
             out,
-            Outcome::Eval(EvalError::DepthExceeded | EvalError::FuelExhausted)
+            Outcome::Eval(EvalError::DepthExceeded(_) | EvalError::FuelExhausted(_))
         ),
         "{out:?}"
     );
@@ -277,4 +279,53 @@ fn parse_type_and_eval_errors_all_reported_together() {
         .expect("pipeline exceeded the wall-clock bound or panicked");
     assert!(compile_errors);
     assert!(errors >= 2, "expected multiple diagnostics:\n{rendered}");
+}
+
+#[test]
+fn every_prefix_of_a_good_program_is_handled_structurally() {
+    // The "chop test": truncating a known-good program at every byte
+    // boundary produces either a clean compile or diagnostics — never
+    // a panic, never a hang. This sweeps the parser's error recovery
+    // across every possible point of mid-token, mid-declaration, and
+    // mid-expression truncation. Checking is cheap, so the whole
+    // sweep runs on one helper thread under one wall-clock bound.
+    let src = "same x y = eq x y;\n\
+               small x y = if lt x y then x else y;\n\
+               main = and (same (cons 1 nil) (cons 1 nil))\n\
+                          (eq (small 3 4) 3);\n";
+    let (tx, rx) = mpsc::channel();
+    let owned = src.to_string();
+    thread::spawn(move || {
+        let mut checked = 0u32;
+        for end in 0..=owned.len() {
+            if !owned.is_char_boundary(end) {
+                continue;
+            }
+            let prefix = &owned[..end];
+            let c = typeclasses::check_source(prefix, &Options::default());
+            // A prefix either compiles clean (e.g. whole declarations
+            // survive the chop) or reports diagnostics; rendering must
+            // also hold together at every truncation point.
+            if !c.ok() {
+                assert!(
+                    c.diags.error_count() > 0,
+                    "not ok but no errors at prefix {end}"
+                );
+            }
+            let rendered = c.render_diagnostics();
+            assert!(
+                c.ok() || !rendered.is_empty(),
+                "unrenderable diagnostics at prefix {end}"
+            );
+            checked += 1;
+        }
+        let _ = tx.send(checked);
+    });
+    let checked = rx
+        .recv_timeout(WALL_CLOCK)
+        .expect("chop sweep exceeded the wall-clock bound or panicked");
+    assert!(
+        checked > 100,
+        "expected to sweep every prefix, got {checked}"
+    );
 }
