@@ -279,6 +279,93 @@ fn bench_serve_batch(reps: usize) -> ServeRow {
     }
 }
 
+/// Coherence-checker throughput: pairwise overlap detection over a
+/// deliberately wide (and deliberately disjoint — the pass must come
+/// back clean) instance world, reported as instances/sec.
+///
+/// The instance/pair counters are deterministic and gate exactly;
+/// `nanos_check` gets timing tolerance and `instances_per_sec` the
+/// one-sided throughput tolerance, like the serve row.
+struct CoherenceRow {
+    instances: u64,
+    pairs: u64,
+    nanos_check: u128,
+    instances_per_sec: f64,
+    metrics: Vec<(&'static str, u64)>,
+}
+
+impl CoherenceRow {
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.field_str("name", "coherence_check");
+        w.field_u64("instances", self.instances);
+        w.field_u64("pairs", self.pairs);
+        w.field_u64("nanos_check", saturate(self.nanos_check));
+        w.field_f64("instances_per_sec", self.instances_per_sec, 1);
+        w.begin_object_field("metrics");
+        for (name, value) in &self.metrics {
+            w.field_u64(name, *value);
+        }
+        w.end_object();
+        w.end_object();
+    }
+}
+
+/// `classes` classes, each instanced at every `List^d Int` / `List^d
+/// Bool` for `d < depths` — disjoint heads, so the check is all work
+/// and no findings.
+fn coherence_source(classes: usize, depths: usize) -> String {
+    let mut src = String::new();
+    for c in 0..classes {
+        let _ = writeln!(src, "class C{c} a where {{ m{c} :: a -> Bool; }};");
+        for d in 0..depths {
+            for base in ["Int", "Bool"] {
+                let mut ty = base.to_string();
+                for _ in 0..d {
+                    ty = format!("(List {ty})");
+                }
+                let _ = writeln!(src, "instance C{c} {ty} where {{ m{c} = \\x -> True; }};");
+            }
+        }
+    }
+    src
+}
+
+fn bench_coherence(iters: usize) -> CoherenceRow {
+    use typeclasses::coherence::{check_coherence, CoherenceConfig, CoherenceInput};
+    use typeclasses::MetricsRegistry;
+
+    let cenv = env_from_source(&coherence_source(6, 4));
+    let cfg = CoherenceConfig::default();
+    let mut metrics = MetricsRegistry::new();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let diags = check_coherence(
+            &CoherenceInput {
+                cenv: &cenv,
+                user_start: 0,
+            },
+            &cfg,
+            &mut metrics,
+        );
+        assert!(
+            diags.is_empty(),
+            "disjoint instance world must check clean: {diags:?}"
+        );
+    }
+    let nanos_check = t0.elapsed().as_nanos();
+
+    let total = metrics.counter(typeclasses::CounterId::CoherenceInstancesChecked);
+    let pairs = metrics.counter(typeclasses::CounterId::CoherencePairsUnified);
+    CoherenceRow {
+        instances: total / iters.max(1) as u64,
+        pairs: pairs / iters.max(1) as u64,
+        nanos_check,
+        instances_per_sec: total as f64 * 1e9 / nanos_check.max(1) as f64,
+        metrics: metrics.counters_snapshot(),
+    }
+}
+
 const TOWER_SRC: &str = "\
     class Eq a where { eq :: a -> a -> Bool; };\n\
     instance Eq Int where { eq = primEqInt; };\n\
@@ -350,6 +437,9 @@ fn main() {
     // End-to-end server throughput over the same example programs.
     let serve_row = bench_serve_batch(if smoke { 20 } else { 200 });
 
+    // Coherence-checker throughput over a wide disjoint instance world.
+    let coherence_row = bench_coherence(iters);
+
     let mut w = JsonWriter::new();
     w.begin_object();
     w.field_str("bench", "resolve");
@@ -360,6 +450,7 @@ fn main() {
         r.write_json(&mut w);
     }
     serve_row.write_json(&mut w);
+    coherence_row.write_json(&mut w);
     w.end_array();
     w.end_object();
     let json = w.finish();
@@ -389,6 +480,14 @@ fn main() {
         serve_row.responses_ok,
         serve_row.nanos_batch as f64 / 1e6,
         serve_row.programs_per_sec,
+    );
+    println!(
+        "{:28} instances={:4} pairs={:5} check={:.3}ms throughput={:.0} instances/s",
+        "coherence_check",
+        coherence_row.instances,
+        coherence_row.pairs,
+        coherence_row.nanos_check as f64 / 1e6,
+        coherence_row.instances_per_sec,
     );
     println!("wrote BENCH_resolve.json");
 }

@@ -8,7 +8,7 @@ use crate::env::{ClassEnv, ClassInfo, Instance, MethodInfo};
 use crate::lower::{lower_pred, lower_type, LowerCtx};
 use std::collections::{HashMap, HashSet};
 use tc_syntax::{ClassDecl, Diagnostics, InstanceDecl, Program, Stage};
-use tc_types::{unify, Pred, Qual, Scheme, Subst, Type, VarGen};
+use tc_types::{Pred, Qual, Scheme, Type, VarGen};
 
 /// Build a [`ClassEnv`] from the program's class and instance
 /// declarations. Returns the environment and accumulated diagnostics;
@@ -222,21 +222,17 @@ fn validate_superclasses(env: &mut ClassEnv, diags: &mut Diagnostics) {
         }
     }
 
-    for name in &cyclic {
-        let span = env.classes.get(name).map(|c| c.span).unwrap_or_default();
-        diags.error(
-            Stage::Classes,
-            "E0306",
-            format!("class `{name}` participates in a superclass cycle"),
-            span,
-        );
-    }
-    // Break the cycles so later traversals terminate structurally.
+    // Break the cycles so later traversals terminate structurally, and
+    // record the participants: the coherence pass (which owns the
+    // user-facing diagnostic, `L0010`) reads them off the environment.
+    let mut cyclic: Vec<String> = cyclic.into_iter().collect();
+    cyclic.sort_unstable();
     for name in &cyclic {
         if let Some(ci) = env.classes.get_mut(name) {
             ci.supers.clear();
         }
     }
+    env.cyclic_classes = cyclic;
 }
 
 fn add_instance(
@@ -277,29 +273,10 @@ fn add_instance(
         .map(|p| lower_pred(p, &mut ctx, gen, diags))
         .collect();
 
-    // Coherence: reject instances whose head unifies with an existing
-    // instance of the same class. Variables are globally fresh per
-    // instance, so plain unification is a sound overlap test.
-    for prev in env.instances_of(&decl.class) {
-        let mut s = Subst::new();
-        if unify(&mut s, &prev.head.ty, &head_ty).is_ok() {
-            diags.push(
-                tc_syntax::Diagnostic::error(
-                    Stage::Classes,
-                    "E0308",
-                    format!(
-                        "overlapping instances for class `{}`: `{}` overlaps `{}`",
-                        decl.class,
-                        Pred::new(decl.class.clone(), head_ty.clone(), decl.span),
-                        prev.head
-                    ),
-                    decl.span,
-                )
-                .with_note(Some(prev.span), "previously declared here".to_string()),
-            );
-            return;
-        }
-    }
+    // Overlapping heads are *not* rejected here: every structurally
+    // valid instance registers, resolution stays deterministic via
+    // first-match, and the coherence pass (`tc-coherence`) reports
+    // overlaps as `L0008`/`L0009` with a counterexample type.
 
     // Validate method bindings: every name must be a class method,
     // defined at most once, and every class method must be present.
@@ -400,12 +377,11 @@ mod tests {
             "class B a => A a where { fa :: a -> a };
              class A a => B a where { fb :: a -> a };",
         );
-        assert!(
-            diags.iter().any(|d| d.code == "E0306"),
-            "{:?}",
-            diags.into_vec()
-        );
-        // Cycles are broken so later traversal terminates.
+        // Build itself stays silent — the coherence pass owns the
+        // user-facing diagnostic (`L0010`) — but the participants are
+        // recorded and the cycles broken so later traversal terminates.
+        assert!(!diags.has_errors(), "{:?}", diags.into_vec());
+        assert_eq!(env.cyclic_classes, vec!["A".to_string(), "B".to_string()]);
         assert!(env.class("A").unwrap().supers.is_empty());
         assert!(env.class("B").unwrap().supers.is_empty());
     }
@@ -417,19 +393,18 @@ mod tests {
     }
 
     #[test]
-    fn overlapping_instances_rejected() {
+    fn overlapping_instances_both_register() {
+        // Build no longer rejects overlapping heads: both instances
+        // register (resolution is deterministic first-match) and the
+        // coherence pass reports the overlap as `L0008`.
         let (env, diags) = build(
             "class Eq a where { eq :: a -> a -> Bool };
              instance Eq (List Int) where { eq = x };
              instance Eq a => Eq (List a) where { eq = y };",
         );
-        assert!(
-            diags.iter().any(|d| d.code == "E0308"),
-            "{:?}",
-            diags.into_vec()
-        );
-        // The first one wins; the overlapping one is not registered.
-        assert_eq!(env.instances_of("Eq").len(), 1);
+        assert!(!diags.has_errors(), "{:?}", diags.into_vec());
+        assert_eq!(env.instances_of("Eq").len(), 2);
+        assert!(env.cyclic_classes.is_empty());
     }
 
     #[test]

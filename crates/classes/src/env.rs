@@ -79,6 +79,11 @@ pub struct ClassEnv {
     pub instances: HashMap<String, Vec<Instance>>,
     /// Method name → owning class name (methods are global).
     pub method_owner: HashMap<String, String>,
+    /// Classes that participated in a superclass cycle, sorted by
+    /// name. Build breaks the cycles structurally (clearing the
+    /// participants' superclass lists) so traversals terminate; the
+    /// coherence checker turns this record into `L0010` findings.
+    pub cyclic_classes: Vec<String>,
 }
 
 impl ClassEnv {

@@ -59,6 +59,11 @@ pub struct Elaboration {
     /// against [`ElabOptions::goal_span_epoch`]; empty unless an epoch
     /// was supplied.
     pub goal_spans: Vec<SpanEvent>,
+    /// The run's resolve cache, handed back so a later elaboration in
+    /// the same session (the coherence law harness) can reuse the warm
+    /// memo table via [`elaborate_with_cache`]. Trace/metrics/span
+    /// sinks have already been drained into the fields above.
+    pub cache: Option<ResolveCache>,
 }
 
 /// Knobs for one elaboration run.
@@ -380,11 +385,28 @@ pub fn elaborate_with(
     gen: &mut VarGen,
     opts: ElabOptions,
 ) -> (Elaboration, Diagnostics) {
-    let mut cache = if opts.memoize {
+    let cache = if opts.memoize {
         ResolveCache::new()
     } else {
         ResolveCache::disabled()
     };
+    elaborate_with_cache(program, cenv, gen, opts, cache)
+}
+
+/// Like [`elaborate_with`], but resolve against a caller-supplied
+/// [`ResolveCache`] — usually one handed back by a previous
+/// elaboration's [`Elaboration::cache`], so tabled derivations from
+/// that session answer this run's goals in O(1). The cache's memo
+/// entries never go stale (they are context-independent and keyed by
+/// ground goals), so seeding is always sound for the same class
+/// environment.
+pub fn elaborate_with_cache(
+    program: &Program,
+    cenv: &ClassEnv,
+    gen: &mut VarGen,
+    opts: ElabOptions,
+    mut cache: ResolveCache,
+) -> (Elaboration, Diagnostics) {
     if opts.trace_resolution {
         cache.enable_trace();
     }
@@ -676,6 +698,7 @@ pub fn elaborate_with(
             resolution_trace: cache.take_trace(),
             metrics: std::mem::take(&mut cache.metrics),
             goal_spans: cache.take_goal_spans(),
+            cache: Some(cache),
         },
         inf.diags,
     )

@@ -29,7 +29,7 @@ pub mod infer;
 pub mod scc;
 
 pub use builtins::{builtin_env, builtin_schemes, is_builtin};
-pub use infer::{elaborate, elaborate_with, ElabOptions, Elaboration};
+pub use infer::{elaborate, elaborate_with, elaborate_with_cache, ElabOptions, Elaboration};
 pub use scc::binding_groups;
 
 #[cfg(test)]

@@ -42,6 +42,7 @@ pub mod resilience;
 
 use resilience::{FaultOutcome, FaultSite, Faults};
 use tc_classes::{build_class_env, ClassEnv, ReduceBudget};
+use tc_coherence::{CoherenceInput, LawInput, LawOptions};
 use tc_core::{elaborate_with, ElabOptions, Elaboration};
 use tc_coreir::ShareStats;
 use tc_eval::{Budget, EvalError, EvalOptions};
@@ -55,6 +56,7 @@ use tc_types::VarGen;
 
 pub use resilience::FaultPlan;
 pub use tc_classes::{ResolveStats, ResolveTraceLog};
+pub use tc_coherence::{CoherenceConfig, Rule as CoherenceRule};
 pub use tc_coreir::ShareStats as DictShareStats;
 pub use tc_eval::{BudgetSnapshot, EvalProfile, EvalStats};
 pub use tc_lint::{LintConfig, Rule as LintRule};
@@ -83,6 +85,25 @@ pub struct Options {
     /// their default warn; `deny` escalates findings to errors (so
     /// [`Check::ok`] fails), `allow` silences a rule.
     pub lint_levels: LintConfig,
+    /// Per-rule coherence levels (`L0008`–`L0011`). The structural
+    /// rules — overlapping instances, prelude duplicates, superclass
+    /// cycles — deny by default, so an incoherent instance world
+    /// still fails compilation the way it did when the class-env
+    /// build rejected it outright; now with spans for *both*
+    /// instances and a counterexample type.
+    pub coherence_levels: CoherenceConfig,
+    /// Run the class-law harness ([`tc_coherence::check_laws`]) after
+    /// the static passes: generated `Eq`/`Ord` law programs are
+    /// elaborated through the ordinary dictionary conversion (reusing
+    /// this run's warm resolve cache) and evaluated under
+    /// [`Options::law_budget`]; violations report as `L0011`. Off by
+    /// default — it costs one extra elaboration plus a few dozen tiny
+    /// evaluations.
+    pub check_laws: bool,
+    /// Evaluator budget per generated law program. Laws are a handful
+    /// of applications over enumerated samples, so the default is the
+    /// evaluator's small budget.
+    pub law_budget: Budget,
     /// Memoize instance resolution across the whole elaboration (the
     /// tabled-resolution layer). On by default; the off switch exists
     /// for baselines and the differential suite.
@@ -140,6 +161,9 @@ impl Default for Options {
             reduce: ReduceBudget::default(),
             budget: Budget::default(),
             lint_levels: LintConfig::default(),
+            coherence_levels: CoherenceConfig::default(),
+            check_laws: false,
+            law_budget: Budget::small(),
             memoize_resolution: true,
             share_dictionaries: true,
             trace_timing: false,
@@ -477,6 +501,24 @@ fn compile(src: &str, opts: &Options, lint: bool) -> Check {
         cenv
     };
 
+    // Coherence runs between the class env and elaboration: overlap
+    // and cycle findings only need instance heads, so they stay
+    // available even when a tripped deadline skips elaboration. No
+    // fault site here — the pass is pure table-walking over the env.
+    if !deadline_tripped(opts, &mut diags, &mut cancelled) {
+        let timer = telemetry.start();
+        diags.extend(tc_coherence::check_coherence(
+            &CoherenceInput {
+                cenv: &cenv,
+                user_start: user_offset,
+            },
+            &opts.coherence_levels,
+            &mut metrics,
+        ));
+        telemetry.record(TraceStage::Coherence, timer, (diags.len() - seen) as u64);
+        seen = diags.len();
+    }
+
     let mut elab = if deadline_tripped(opts, &mut diags, &mut cancelled) {
         Elaboration::default()
     } else {
@@ -541,6 +583,36 @@ fn compile(src: &str, opts: &Options, lint: bool) -> Check {
             &opts.lint_levels,
         ));
         telemetry.record(TraceStage::Lint, timer, (diags.len() - seen) as u64);
+    }
+
+    // The law harness runs last among the static passes: it needs the
+    // elaboration's warm resolve cache (seeded below, so law goals
+    // resolve in O(1)) and only makes sense for programs that compile
+    // — law verdicts on an erroneous program would blame dictionaries
+    // that were never built. Its findings land under the same
+    // `Coherence` stage as the structural checks.
+    if opts.check_laws && !diags.has_errors() && !deadline_tripped(opts, &mut diags, &mut cancelled)
+    {
+        let before = diags.len();
+        let timer = telemetry.start();
+        diags.extend(tc_coherence::check_laws(
+            &LawInput {
+                program: &prog,
+                cenv: &cenv,
+                user_start: user_offset,
+            },
+            &opts.coherence_levels,
+            &LawOptions {
+                eval_budget: opts.law_budget,
+                reduce: opts.reduce,
+                cancel: opts.cancel.clone(),
+                cache_capacity: opts.cache_capacity,
+            },
+            elab.cache.take(),
+            &mut gen,
+            &mut metrics,
+        ));
+        telemetry.record(TraceStage::Coherence, timer, (diags.len() - before) as u64);
     }
 
     // Final boundary: a deadline that expired during the last stage

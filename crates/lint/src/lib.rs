@@ -105,6 +105,37 @@ impl Rule {
         }
     }
 
+    /// One-line explanation, surfaced by the runner's `--explain`.
+    pub fn description(self) -> &'static str {
+        match self {
+            Rule::InstanceTermination => {
+                "an instance context is not structurally smaller than its head \
+                 (Paterson condition); resolution may diverge without the \
+                 runtime cycle/budget guards"
+            }
+            Rule::RedundantConstraint => {
+                "a constraint is duplicated in, or implied via a superclass \
+                 by, the same context"
+            }
+            Rule::AmbiguousTypeVar => {
+                "a context constraint mentions a type variable that never \
+                 occurs in the constrained type; every use is ambiguous"
+            }
+            Rule::UnusedBinding => "a lambda parameter or local binding is never used",
+            Rule::ShadowedBinding => {
+                "a binding shadows an enclosing local or a top-level definition"
+            }
+            Rule::UnreachableArm => {
+                "an `if` arm can never run: constant condition, or a condition \
+                 already decided by an enclosing test"
+            }
+            Rule::RepeatedDictionary => {
+                "an identical instance dictionary is built more than once in \
+                 one binding; hoistable into a shared binding"
+            }
+        }
+    }
+
     /// Every rule warns by default; nothing is deny-by-default so a
     /// lint can never reject a program unless the caller opts in.
     pub fn default_level(self) -> LintLevel {

@@ -36,13 +36,14 @@
 //! | field         | type   | meaning                                        |
 //! |---------------|--------|------------------------------------------------|
 //! | `id`          | num/str| echoed on the response (default: line number)  |
-//! | `cmd`         | str    | `"run"` (default) or `"stats"`                 |
-//! | `program`     | str    | Mini-Haskell source (required for `run`)       |
+//! | `cmd`         | str    | `"run"` (default), `"check"`, or `"stats"`     |
+//! | `program`     | str    | Mini-Haskell source (required for `run`/`check`)|
 //! | `deadline_ms` | num    | per-request deadline, admission to answer      |
 //! | `prelude`     | bool   | splice the prelude (default true)              |
 //! | `memoize`     | bool   | tabled resolution (default true)               |
 //! | `share`       | bool   | dictionary sharing (default true)              |
-//! | `lint`        | bool   | also run the lint pass (default false)         |
+//! | `lint`        | bool   | also run the lint pass (default false for `run`, true for `check`) |
+//! | `check_laws`  | bool   | also run the Eq/Ord law harness (default false)|
 //! | `explain`     | bool   | include the resolution explain-trace           |
 //! | `stats`       | bool   | include pipeline stats in the response         |
 //! | `fuel`, `max_depth`, `max_allocs` | num | evaluator budget overrides    |
@@ -52,6 +53,17 @@
 //! `"status":"error"` (`internal` / `deadline` / `overloaded` /
 //! `bad-request`). Responses stream in **completion order**; match
 //! them to requests by `id`.
+//!
+//! `{"cmd":"check"}` is the static-analysis product surface: the full
+//! pipeline runs *without evaluating `main`* — parse, class env,
+//! coherence (overlap / orphan / cycle, `L0008`–`L0010`), elaboration,
+//! lint, and (with `check_laws`) the class-law harness (`L0011`) —
+//! and the response carries every diagnostic as a structured object
+//! (`code`, `severity`, `message`, byte span) plus an overall
+//! `"ok"` verdict. Deadlines, shedding, and degradation apply exactly
+//! as for `run`; the law harness reuses the request's warm resolve
+//! cache, so `check_laws` costs one cheap extra elaboration, not a
+//! cold resolution sweep.
 //!
 //! `{"cmd":"stats"}` answers with the fleet metrics snapshot: every
 //! worker keeps a private [`MetricsRegistry`] (no contention on the
@@ -70,9 +82,10 @@ use std::time::{Duration, Instant};
 
 use tc_driver::resilience::{self, FaultPlan};
 use tc_driver::{
-    check_source, lint_source, run_checked, Options, Outcome, RunResult, CANCELLED_CODE,
+    check_source, lint_source, run_checked, Check, Options, Outcome, RunResult, CANCELLED_CODE,
 };
 use tc_eval::EvalError;
+use tc_syntax::Severity;
 use tc_trace::{json, CancelToken, CounterId, HistogramId, JsonWriter, MetricsRegistry};
 
 /// Memo-table cap applied under heavy load (≥75% queue occupancy).
@@ -172,6 +185,9 @@ struct Job {
     id: ReqId,
     seq: u64,
     program: String,
+    /// `cmd:"check"`: run the static passes only and answer with
+    /// structured diagnostics instead of evaluating `main`.
+    check: bool,
     lint: bool,
     explain: bool,
     want_stats: bool,
@@ -238,7 +254,8 @@ fn parse_request(line: &str, seq: u64, base: &Options) -> (ReqId, Result<Parsed,
     };
     match cmd {
         "stats" => (id, Ok(Parsed::Stats)),
-        "run" => {
+        "run" | "check" => {
+            let check = cmd == "check";
             let spec = (|| {
                 let program = match v.get("program") {
                     Some(json::Value::Str(s)) => s.clone(),
@@ -254,6 +271,9 @@ fn parse_request(line: &str, seq: u64, base: &Options) -> (ReqId, Result<Parsed,
                 }
                 if let Some(b) = bool_field(&v, "share")? {
                     opts.share_dictionaries = b;
+                }
+                if let Some(b) = bool_field(&v, "check_laws")? {
+                    opts.check_laws = b;
                 }
                 let explain = bool_field(&v, "explain")?.unwrap_or(false);
                 if explain {
@@ -272,7 +292,10 @@ fn parse_request(line: &str, seq: u64, base: &Options) -> (ReqId, Result<Parsed,
                     id: id.clone(),
                     seq,
                     program,
-                    lint: bool_field(&v, "lint")?.unwrap_or(false),
+                    check,
+                    // `check` is the static-analysis surface, so the
+                    // lint pass defaults on there.
+                    lint: bool_field(&v, "lint")?.unwrap_or(check),
                     explain,
                     want_stats: bool_field(&v, "stats")?.unwrap_or(false),
                     deadline_ms: u64_field(&v, "deadline_ms")?,
@@ -372,16 +395,73 @@ fn ok_response(job: &Job, r: &RunResult, latency_us: u64) -> String {
     w.finish()
 }
 
+/// Build the `status:"ok"` response for a `cmd:"check"` job: the
+/// overall verdict plus every diagnostic as a structured object, so
+/// machine consumers never have to parse rendered text.
+fn check_response(job: &Job, c: &Check, latency_us: u64) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    write_id(&mut w, &job.id);
+    w.field_str("status", "ok");
+    w.field_str("cmd", "check");
+    w.field_bool("ok", c.ok());
+    w.begin_array_field("diagnostics");
+    for d in c.diags.iter() {
+        w.begin_object();
+        w.field_str("code", d.code);
+        w.field_str(
+            "severity",
+            match d.severity {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            },
+        );
+        w.field_str("message", &d.message);
+        w.field_u64("start", u64::from(d.span.start));
+        w.field_u64("end", u64::from(d.span.end));
+        w.end_object();
+    }
+    w.end_array();
+    if job.want_stats {
+        w.begin_object_field("stats");
+        c.stats.write_json(&mut w);
+        w.end_object();
+    }
+    if job.degrade_traces || job.degrade_cache {
+        w.begin_array_field("degraded");
+        if job.degrade_traces {
+            w.elem_str("traces");
+        }
+        if job.degrade_cache {
+            w.elem_str("cache");
+        }
+        w.end_array();
+    }
+    w.field_u64("latency_us", latency_us);
+    w.end_object();
+    w.finish()
+}
+
+/// Did compilation get cut short by its deadline? Either the driver
+/// stopped the pipeline at a stage boundary (`E0430`) or the
+/// resolver's in-flight poll tripped (`E0423`).
+fn compile_cancelled(c: &Check) -> bool {
+    c.diags
+        .iter()
+        .any(|d| d.code == CANCELLED_CODE || d.code == "E0423")
+}
+
 /// Did this run die of its deadline (rather than finishing or hitting
-/// an ordinary error)? Either the driver cut the pipeline short
-/// (`E0430`), the resolver's in-flight poll tripped (`E0423`), or the
-/// evaluator's fuel-loop poll did.
+/// an ordinary error)? Either compilation was cut short, or the
+/// evaluator's fuel-loop poll tripped.
 fn deadline_hit(r: &RunResult) -> bool {
-    matches!(r.outcome, Outcome::Eval(EvalError::Cancelled(_)))
-        || r.check
-            .diags
-            .iter()
-            .any(|d| d.code == CANCELLED_CODE || d.code == "E0423")
+    matches!(r.outcome, Outcome::Eval(EvalError::Cancelled(_))) || compile_cancelled(&r.check)
+}
+
+/// A finished job, either flavor.
+enum Done {
+    Run(RunResult),
+    Check(Check),
 }
 
 /// Process one admitted job on a worker: apply degradation, arm
@@ -439,7 +519,13 @@ fn process(mut job: Job, cfg: &ServeConfig, reg: &Mutex<MetricsRegistry>) -> Str
         } else {
             check_source(&job.program, &job.opts)
         };
-        run_checked(check, &job.opts)
+        if job.check {
+            // Static surface: stop after the analysis passes; `main`
+            // (if any) is never evaluated.
+            Done::Check(check)
+        } else {
+            Done::Run(run_checked(check, &job.opts))
+        }
     });
 
     let latency_us = job.admitted_at.elapsed().as_micros() as u64;
@@ -452,13 +538,21 @@ fn process(mut job: Job, cfg: &ServeConfig, reg: &Mutex<MetricsRegistry>) -> Str
             m.incr(CounterId::ServeErrInternal);
             error_response(&job.id, "internal", &panic_msg, None)
         }
-        Ok(r) if deadline_hit(&r) => {
+        Ok(Done::Run(r)) if deadline_hit(&r) => {
             m.incr(CounterId::ServeErrDeadline);
             error_response(&job.id, "deadline", "deadline exceeded", None)
         }
-        Ok(r) => {
+        Ok(Done::Check(c)) if compile_cancelled(&c) => {
+            m.incr(CounterId::ServeErrDeadline);
+            error_response(&job.id, "deadline", "deadline exceeded", None)
+        }
+        Ok(Done::Run(r)) => {
             m.incr(CounterId::ServeOk);
             ok_response(&job, &r, latency_us)
+        }
+        Ok(Done::Check(c)) => {
+            m.incr(CounterId::ServeOk);
+            check_response(&job, &c, latency_us)
         }
     }
 }
@@ -892,6 +986,95 @@ mod tests {
             .and_then(|s| s.as_str())
             .is_some_and(|t| t.contains("Eq")));
         assert!(v.get("stats").and_then(|s| s.get("goals")).is_some());
+    }
+
+    fn check_req(id: u64, program: &str, check_laws: bool, prelude: bool) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_u64("id", id);
+        w.field_str("cmd", "check");
+        w.field_str("program", program);
+        w.field_bool("check_laws", check_laws);
+        w.field_bool("prelude", prelude);
+        w.end_object();
+        w.finish()
+    }
+
+    #[test]
+    fn check_command_reports_structured_diagnostics_without_evaluating() {
+        let lines = vec![
+            // A prelude duplicate: coherence reports L0009, deny by
+            // default, so the verdict is not-ok.
+            check_req(
+                1,
+                "instance Eq Int where { eq = primEqInt; neq = \\x y -> False; };",
+                false,
+                true,
+            ),
+            // An infinite main: check must answer instantly because it
+            // never evaluates.
+            check_req(2, "loop x = loop x;\nmain = loop 1;", false, true),
+        ];
+        let (out, summary) = serve_lines(&lines, &ServeConfig::default());
+        assert_eq!(out.len(), 2);
+        assert_eq!(summary.ok(), 2);
+        let vals = parse_all(&out);
+        let dup = by_id(&vals, 1);
+        assert_eq!(dup.get("status").and_then(|s| s.as_str()), Some("ok"));
+        assert_eq!(dup.get("cmd").and_then(|s| s.as_str()), Some("check"));
+        assert_eq!(dup.get("ok").and_then(|b| b.as_bool()), Some(false));
+        let diags = dup
+            .get("diagnostics")
+            .and_then(|d| d.as_array())
+            .unwrap_or_else(|| panic!("diagnostics array: {out:?}"));
+        let orphan = diags
+            .iter()
+            .find(|d| d.get("code").and_then(|c| c.as_str()) == Some("L0009"))
+            .unwrap_or_else(|| panic!("no L0009 in {diags:?}"));
+        assert_eq!(
+            orphan.get("severity").and_then(|s| s.as_str()),
+            Some("error")
+        );
+        assert!(orphan.get("start").and_then(|n| n.as_u64()).is_some());
+        let looping = by_id(&vals, 2);
+        assert_eq!(looping.get("ok").and_then(|b| b.as_bool()), Some(true));
+        assert!(looping.get("value").is_none(), "check must not evaluate");
+    }
+
+    #[test]
+    fn check_command_runs_the_law_harness_on_request() {
+        let bad_eq = "class Eq a where { eq :: a -> a -> Bool; };\n\
+                      instance Eq Int where { eq = primLeInt; };";
+        let lines = vec![
+            check_req(1, bad_eq, true, false),
+            check_req(2, bad_eq, false, false),
+        ];
+        let (out, _) = serve_lines(&lines, &ServeConfig::default());
+        let vals = parse_all(&out);
+        let with_laws = by_id(&vals, 1);
+        let diags = with_laws
+            .get("diagnostics")
+            .and_then(|d| d.as_array())
+            .unwrap_or_else(|| panic!("diagnostics array: {out:?}"));
+        let violation = diags
+            .iter()
+            .find(|d| d.get("code").and_then(|c| c.as_str()) == Some("L0011"))
+            .unwrap_or_else(|| panic!("no L0011 in {diags:?}"));
+        assert!(violation
+            .get("message")
+            .and_then(|m| m.as_str())
+            .is_some_and(|m| m.contains("symmetry")));
+        // Laws default to warn, so the verdict stays ok.
+        assert_eq!(with_laws.get("ok").and_then(|b| b.as_bool()), Some(true));
+        // Without check_laws the harness never runs.
+        let without = by_id(&vals, 2);
+        let diags = without
+            .get("diagnostics")
+            .and_then(|d| d.as_array())
+            .unwrap_or_else(|| panic!("diagnostics array: {out:?}"));
+        assert!(diags
+            .iter()
+            .all(|d| d.get("code").and_then(|c| c.as_str()) != Some("L0011")));
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub enum Stage {
     Lexer,
     Parser,
     Classes,
+    Coherence,
     TypeCheck,
     DictConv,
     Lint,
@@ -40,6 +41,7 @@ impl fmt::Display for Stage {
             Stage::Lexer => "lex",
             Stage::Parser => "parse",
             Stage::Classes => "classes",
+            Stage::Coherence => "coherence",
             Stage::TypeCheck => "typecheck",
             Stage::DictConv => "dict",
             Stage::Lint => "lint",

@@ -60,6 +60,7 @@ pub enum Stage {
     Lex,
     Parse,
     ClassEnv,
+    Coherence,
     Elaborate,
     Share,
     Lint,
@@ -68,10 +69,11 @@ pub enum Stage {
 
 impl Stage {
     /// All stages, in pipeline order.
-    pub const ALL: [Stage; 7] = [
+    pub const ALL: [Stage; 8] = [
         Stage::Lex,
         Stage::Parse,
         Stage::ClassEnv,
+        Stage::Coherence,
         Stage::Elaborate,
         Stage::Share,
         Stage::Lint,
@@ -83,6 +85,7 @@ impl Stage {
             Stage::Lex => "lex",
             Stage::Parse => "parse",
             Stage::ClassEnv => "class-env",
+            Stage::Coherence => "coherence",
             Stage::Elaborate => "elaborate",
             Stage::Share => "share",
             Stage::Lint => "lint",

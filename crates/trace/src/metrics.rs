@@ -72,10 +72,18 @@ pub enum CounterId {
     ServeDegradedCache,
     /// Faults injected by the deterministic fault plan.
     ServeFaultsInjected,
+    /// Instances examined by the coherence checker.
+    CoherenceInstancesChecked,
+    /// Instance-head pairs put through pairwise unification.
+    CoherencePairsUnified,
+    /// Class-law programs generated and evaluated by the law harness.
+    CoherenceLawsRun,
+    /// Law programs that evaluated to a counterexample (`False`).
+    CoherenceLawsFailed,
 }
 
 impl CounterId {
-    pub const ALL: [CounterId; 22] = [
+    pub const ALL: [CounterId; 26] = [
         CounterId::ResolveCacheHits,
         CounterId::ResolveCacheMisses,
         CounterId::ResolveCacheEvictions,
@@ -98,6 +106,10 @@ impl CounterId {
         CounterId::ServeDegradedTraces,
         CounterId::ServeDegradedCache,
         CounterId::ServeFaultsInjected,
+        CounterId::CoherenceInstancesChecked,
+        CounterId::CoherencePairsUnified,
+        CounterId::CoherenceLawsRun,
+        CounterId::CoherenceLawsFailed,
     ];
 
     pub fn name(self) -> &'static str {
@@ -124,6 +136,10 @@ impl CounterId {
             CounterId::ServeDegradedTraces => "serve.degraded.traces",
             CounterId::ServeDegradedCache => "serve.degraded.cache",
             CounterId::ServeFaultsInjected => "serve.faults_injected",
+            CounterId::CoherenceInstancesChecked => "coherence.instances_checked",
+            CounterId::CoherencePairsUnified => "coherence.pairs_unified",
+            CounterId::CoherenceLawsRun => "coherence.laws_run",
+            CounterId::CoherenceLawsFailed => "coherence.laws_failed",
         }
     }
 
@@ -149,6 +165,9 @@ impl CounterId {
             | CounterId::ServeDegradedTraces
             | CounterId::ServeDegradedCache => "requests",
             CounterId::ServeFaultsInjected => "faults",
+            CounterId::CoherenceInstancesChecked => "instances",
+            CounterId::CoherencePairsUnified => "pairs",
+            CounterId::CoherenceLawsRun | CounterId::CoherenceLawsFailed => "laws",
         }
     }
 }

@@ -8,6 +8,8 @@
 //! cargo run --example run -- --stats program.mh    # pipeline stats (JSON, stderr)
 //! cargo run --example run -- --trace --profile program.mh  # timings + hot bindings
 //! cargo run --example run -- --explain program.mh  # resolution derivation trees
+//! cargo run --example run -- --explain L0008       # explain one diagnostic code
+//! cargo run --example run -- --check-laws program.mh  # Eq/Ord class-law harness
 //! cargo run --example run -- --metrics program.mh  # metric counters/histograms (stderr)
 //! cargo run --example run -- --chrome-trace=t.json program.mh  # Perfetto-loadable trace
 //! cargo run --example run -- serve --workers=4     # JSONL batch server on stdin/stdout
@@ -74,7 +76,17 @@ const FLAGS: &[FlagSpec] = &[
     FlagSpec {
         name: "--lint-level",
         arg: Some("<rule>=<allow|warn|deny>"),
-        help: "set one lint rule's level (implies --lint)",
+        help: "set one lint or coherence rule's level (lint rules imply --lint)",
+    },
+    FlagSpec {
+        name: "--check-laws",
+        arg: None,
+        help: "run the class-law harness over Eq/Ord instances (violations warn)",
+    },
+    FlagSpec {
+        name: "--law-budget",
+        arg: Some("<fuel>"),
+        help: "evaluator fuel per generated law program (implies --check-laws)",
     },
     FlagSpec {
         name: "--time",
@@ -89,7 +101,8 @@ const FLAGS: &[FlagSpec] = &[
     FlagSpec {
         name: "--explain",
         arg: None,
-        help: "print instance-resolution derivation trees (stdout)",
+        help: "print instance-resolution derivation trees (stdout); with a \
+               diagnostic <CODE> argument, explain that code and exit",
     },
     FlagSpec {
         name: "--profile",
@@ -219,6 +232,110 @@ fn emit(text: &str) -> bool {
         .is_ok()
 }
 
+/// Is `s` shaped like a diagnostic code (`E0420`, `L0008`, ...)?
+fn looks_like_code(s: &str) -> bool {
+    s.len() == 5
+        && (s.starts_with('E') || s.starts_with('L'))
+        && s[1..].chars().all(|c| c.is_ascii_digit())
+}
+
+/// Pipeline error codes that are not lint/coherence rules: stable
+/// resolver and driver codes, with the same one-line style as
+/// [`Rule::description`].
+const ERROR_CODES: &[(&str, &str, &str)] = &[
+    (
+        "E0420",
+        "resolution-cycle",
+        "instance resolution entered a cycle: a goal recurred as its own \
+         subgoal while walking instance contexts",
+    ),
+    (
+        "E0421",
+        "resolution-budget",
+        "instance resolution exceeded its depth/work budget before finding \
+         a derivation",
+    ),
+    (
+        "E0422",
+        "unknown-class",
+        "a constraint names a class that is not defined by the program or \
+         the prelude",
+    ),
+    (
+        "E0423",
+        "resolution-cancelled",
+        "instance resolution was cancelled cooperatively (request deadline \
+         or client abort)",
+    ),
+    (
+        "E0430",
+        "compile-cancelled",
+        "the pipeline hit its deadline and stopped at a stage boundary \
+         before finishing compilation",
+    ),
+];
+
+/// The codes-table entry for `code`: `(code, rule-name, default, text)`.
+fn explain_entry(code: &str) -> Option<(String, String, &'static str, String)> {
+    if let Some((c, n, d)) = ERROR_CODES.iter().find(|(c, _, _)| *c == code) {
+        return Some(((*c).into(), (*n).into(), "error", (*d).into()));
+    }
+    if let Some(r) = typeclasses::lint::Rule::ALL
+        .iter()
+        .find(|r| r.code() == code)
+    {
+        return Some((
+            r.code().into(),
+            r.name().into(),
+            "warn by default",
+            r.description().into(),
+        ));
+    }
+    if let Some(r) = typeclasses::coherence::Rule::ALL
+        .iter()
+        .copied()
+        .find(|r| r.code() == code)
+    {
+        let default = match r.default_level() {
+            LintLevel::Deny => "deny by default",
+            LintLevel::Warn => "warn by default",
+            LintLevel::Allow => "allow by default",
+        };
+        return Some((
+            r.code().into(),
+            r.name().into(),
+            default,
+            r.description().into(),
+        ));
+    }
+    None
+}
+
+/// `--explain <CODE>`: print one codes-table entry and exit. Unknown
+/// codes exit 2 with the full table so the caller can find the one
+/// they meant.
+fn explain_code_main(code: &str) -> ExitCode {
+    match explain_entry(code) {
+        Some((code, name, default, text)) => {
+            let _ = emit(&format!("{code} ({name}, {default})\n  {text}\n"));
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("error: unknown diagnostic code `{code}`; known codes:");
+            for (c, n, _) in ERROR_CODES {
+                eprintln!("  {c} ({n})");
+            }
+            for r in typeclasses::lint::Rule::ALL {
+                eprintln!("  {} ({})", r.code(), r.name());
+            }
+            for r in typeclasses::coherence::Rule::ALL {
+                eprintln!("  {} ({})", r.code(), r.name());
+            }
+            ExitCode::from(2)
+        }
+    }
+}
+
 /// Parse an unsigned flag value, exiting with usage (code 2) on junk.
 fn parse_num(flag: &str, value: &str) -> Result<u64, ExitCode> {
     value.parse::<u64>().map_err(|_| {
@@ -302,6 +419,23 @@ fn main() -> ExitCode {
         return serve_main(&args[1..]);
     }
 
+    // `--explain <CODE>` / `--explain=<CODE>` is a lookup, not a run:
+    // answer it before touching any input. A bare `--explain` (no code
+    // following) keeps its derivation-trace meaning below.
+    if let Some(code) = args.iter().enumerate().find_map(|(i, a)| {
+        a.strip_prefix("--explain=")
+            .map(str::to_string)
+            .or_else(|| {
+                (a == "--explain")
+                    .then(|| args.get(i + 1))
+                    .flatten()
+                    .filter(|c| looks_like_code(c))
+                    .cloned()
+            })
+    }) {
+        return explain_code_main(&code);
+    }
+
     let mut opts = Options::default();
     let mut dump_core = false;
     let mut lint = false;
@@ -350,6 +484,7 @@ fn main() -> ExitCode {
                 opts.profile_eval = true;
                 profile = true;
             }
+            "--check-laws" => opts.check_laws = true,
             "--metrics" => {
                 opts.collect_metrics = true;
                 metrics = true;
@@ -364,17 +499,35 @@ fn main() -> ExitCode {
                 opts.trace_timing = true;
                 trace_json_path = Some(arg["--trace-json=".len()..].to_string());
             }
+            _ if arg.starts_with("--law-budget=") => {
+                match parse_num("--law-budget", &arg["--law-budget=".len()..]) {
+                    Ok(n) => {
+                        opts.check_laws = true;
+                        opts.law_budget.fuel = n.max(1);
+                    }
+                    Err(code) => return code,
+                }
+            }
             _ if arg.starts_with("--lint-level=") => {
-                lint = true;
                 let spec = &arg["--lint-level=".len()..];
+                // Lint rules switch the lint pass on; coherence rules
+                // always run, so their overrides only adjust levels.
                 let ok = match spec.split_once('=') {
-                    Some((rule, level)) => opts.lint_levels.set_by_name(rule, level),
+                    Some((rule, level)) => {
+                        if opts.lint_levels.set_by_name(rule, level) {
+                            lint = true;
+                            true
+                        } else {
+                            opts.coherence_levels.set_by_name(rule, level)
+                        }
+                    }
                     None => false,
                 };
                 if !ok {
                     eprintln!(
                         "error: bad lint level `{spec}` \
-                         (expected <rule>=<allow|warn|deny>, e.g. unused-binding=allow)"
+                         (expected <rule>=<allow|warn|deny>, e.g. unused-binding=allow \
+                         or overlapping-instances=warn)"
                     );
                     return ExitCode::from(2);
                 }

@@ -12,6 +12,7 @@
 pub mod compare;
 
 pub use tc_classes as classes;
+pub use tc_coherence as coherence;
 pub use tc_core as core_elab;
 pub use tc_coreir as coreir;
 pub use tc_driver as driver;

@@ -64,7 +64,15 @@ fn one_complete_event_per_pipeline_stage() {
         .collect();
     assert_eq!(
         stages,
-        ["lex", "parse", "class-env", "elaborate", "share", "eval"],
+        [
+            "lex",
+            "parse",
+            "class-env",
+            "coherence",
+            "elaborate",
+            "share",
+            "eval"
+        ],
         "one X event per stage, in pipeline order"
     );
     assert!(
@@ -132,9 +140,10 @@ fn shipped_examples_export_valid_traces() {
         let doc = c.chrome_trace_json();
         json::check(&doc).unwrap_or_else(|e| panic!("{name}: invalid trace: {e}"));
         let evs = events(&doc);
-        // check_source never runs eval, so five stage events + goals.
+        // check_source never runs eval, so six stage events (lex,
+        // parse, class-env, coherence, elaborate, share) + goals.
         let stage_count = evs.iter().filter(|(_, c, _, _, _)| c == "stage").count();
-        assert_eq!(stage_count, 5, "{name}");
+        assert_eq!(stage_count, 6, "{name}");
         assert!(
             evs.iter().any(|(_, c, _, _, _)| c == "resolve"),
             "{name}: no per-goal spans"

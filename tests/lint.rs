@@ -214,9 +214,15 @@ fn resolver_error_codes_are_distinct_end_to_end() {
 
 #[test]
 fn overlap_error_code_is_stable_end_to_end() {
-    // Redefining a prelude instance overlaps it: E0308 with a note
-    // pointing at the first declaration.
+    // Redefining a prelude instance is an orphan-style duplicate: the
+    // coherence pass reports L0009 (deny by default) pointing at the
+    // user declaration, with a note naming the prelude original.
     let src = "instance Eq Int where { eq = primEqInt; neq = \\x y -> False; };";
     let check = typeclasses::check_source(src, &Options::default());
-    assert!(check.diags.iter().any(|d| d.code == "E0308"));
+    assert!(
+        check.diags.iter().any(|d| d.code == "L0009"),
+        "expected L0009, got {:?}",
+        check.diags.iter().map(|d| &d.code).collect::<Vec<_>>()
+    );
+    assert!(!check.ok(), "prelude duplicates are deny by default");
 }

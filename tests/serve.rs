@@ -335,6 +335,110 @@ fn serve_matches_oneshot_byte_for_byte() {
     }
 }
 
+fn check_req(id: u64, program: &str, check_laws: bool, prelude: bool) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_u64("id", id);
+    w.field_str("cmd", "check");
+    w.field_str("program", program);
+    w.field_bool("check_laws", check_laws);
+    w.field_bool("prelude", prelude);
+    w.end_object();
+    w.finish()
+}
+
+#[test]
+fn check_command_surfaces_overlap_with_counterexample() {
+    // Two user instances whose heads unify: the coherence checker
+    // reports L0008 (deny by default) and the message carries the
+    // rendered counterexample type — the most general type both heads
+    // cover.
+    let src = "class Sz a where { sz :: a -> Int; };\n\
+               instance Sz (List a) where { sz = \\x -> 0; };\n\
+               instance Sz (List Int) where { sz = \\x -> 1; };\n\
+               main = sz (cons 1 nil);";
+    let (out, summary) = serve_lines(&[check_req(1, src, false, true)], &ServeConfig::default());
+    assert_eq!(summary.ok(), 1, "{out:?}");
+    let vals = parse_all(&out);
+    let v = &vals[0];
+    assert_eq!(v.get("cmd").and_then(|s| s.as_str()), Some("check"));
+    // L0008 is deny by default, so the verdict is not-ok...
+    assert_eq!(v.get("ok").and_then(|b| b.as_bool()), Some(false));
+    // ...and the response never evaluates, so there is no outcome.
+    assert!(v.get("outcome").is_none());
+    let diags = v
+        .get("diagnostics")
+        .and_then(|d| d.as_array())
+        .unwrap_or_else(|| panic!("diagnostics array: {v:?}"));
+    let overlap = diags
+        .iter()
+        .find(|d| d.get("code").and_then(|c| c.as_str()) == Some("L0008"))
+        .unwrap_or_else(|| panic!("no L0008 in {diags:?}"));
+    assert_eq!(
+        overlap.get("severity").and_then(|s| s.as_str()),
+        Some("error")
+    );
+    let msg = overlap
+        .get("message")
+        .and_then(|m| m.as_str())
+        .unwrap_or("");
+    assert!(
+        msg.contains("counterexample type `List Int`"),
+        "counterexample missing: {msg}"
+    );
+    // The diagnostic anchors on the second instance head, inside the
+    // user program (past the prelude boundary is offset-adjusted to 0).
+    assert!(overlap.get("start").and_then(|n| n.as_u64()).is_some());
+}
+
+#[test]
+fn check_command_reports_law_violations_when_asked() {
+    // `primLeInt` is <=, which is reflexive but not symmetric: with
+    // check_laws on, the harness evaluates the generated symmetry
+    // program and reports L0011 citing the failing sample.
+    let src = "class Eq a where { eq :: a -> a -> Bool; };\n\
+               instance Eq Int where { eq = primLeInt; };";
+    let lines = vec![
+        check_req(1, src, true, false),
+        check_req(2, src, false, false),
+    ];
+    let (out, summary) = serve_lines(&lines, &ServeConfig::default());
+    assert_eq!(summary.ok(), 2, "{out:?}");
+    let vals = parse_all(&out);
+    let get = |id: u64| {
+        vals.iter()
+            .find(|v| v.get("id").and_then(|n| n.as_u64()) == Some(id))
+            .unwrap_or_else(|| panic!("missing id {id}"))
+    };
+    let with_laws = get(1);
+    let diags = with_laws
+        .get("diagnostics")
+        .and_then(|d| d.as_array())
+        .unwrap_or_else(|| panic!("diagnostics array: {with_laws:?}"));
+    let violation = diags
+        .iter()
+        .find(|d| d.get("code").and_then(|c| c.as_str()) == Some("L0011"))
+        .unwrap_or_else(|| panic!("no L0011 in {diags:?}"));
+    let msg = violation
+        .get("message")
+        .and_then(|m| m.as_str())
+        .unwrap_or("");
+    assert!(msg.contains("symmetry"), "law name missing: {msg}");
+    // Law violations are warn by default: the verdict stays ok.
+    assert_eq!(with_laws.get("ok").and_then(|b| b.as_bool()), Some(true));
+    // Without check_laws the harness never runs, so the same program
+    // checks clean.
+    let without = get(2);
+    assert_eq!(without.get("ok").and_then(|b| b.as_bool()), Some(true));
+    let diags = without
+        .get("diagnostics")
+        .and_then(|d| d.as_array())
+        .unwrap_or_else(|| panic!("diagnostics array: {without:?}"));
+    assert!(diags
+        .iter()
+        .all(|d| d.get("code").and_then(|c| c.as_str()) != Some("L0011")));
+}
+
 #[test]
 fn serve_honors_per_request_option_overrides() {
     // The same program with memoization on and off answers the same

@@ -26,7 +26,15 @@ fn spans_are_monotone_and_cover_the_whole_run() {
     let names: Vec<&str> = spans.iter().map(|s| s.stage.name()).collect();
     assert_eq!(
         names,
-        ["lex", "parse", "class-env", "elaborate", "share", "eval"],
+        [
+            "lex",
+            "parse",
+            "class-env",
+            "coherence",
+            "elaborate",
+            "share",
+            "eval"
+        ],
         "every pipeline stage should be spanned, in pipeline order"
     );
 
