@@ -371,6 +371,24 @@ const TOWER_SRC: &str = "\
     instance Eq Int where { eq = primEqInt; };\n\
     instance Eq a => Eq (List a) where { eq = \\x y -> True; };\n";
 
+/// Like [`TOWER_SRC`] but the tower instance is *derived*: the
+/// `deriving (Eq)` clause on `Wrap` generates
+/// `instance Eq a => Eq (Wrap a)` mechanically, so resolving
+/// `Eq (Wrap^8 Int)` measures the memo table over derived instances.
+const DERIVED_TOWER_SRC: &str = "\
+    class Eq a where { eq :: a -> a -> Bool; neq :: a -> a -> Bool; };\n\
+    instance Eq Int where { eq = primEqInt; neq = \\x y -> False; };\n\
+    data Wrap a = Wrap a deriving (Eq);\n";
+
+/// `Wrap (Wrap (... Int))`, `depth` wraps deep.
+fn wrap_tower_type(depth: usize) -> Type {
+    let mut t = Type::int();
+    for _ in 0..depth {
+        t = Type::App(Box::new(Type::Con("Wrap".into())), Box::new(t));
+    }
+    t
+}
+
 /// Eight sibling superclasses under one class, all instanced at Int.
 fn wide_super_source(width: usize) -> String {
     let mut src = String::new();
@@ -413,6 +431,23 @@ fn main() {
     );
     rows.push(row);
 
+    // Same tower through a *derived* instance: `deriving (Eq)` on
+    // `Wrap a` must resolve exactly like the handwritten List tower.
+    let derived_env = env_from_source(DERIVED_TOWER_SRC);
+    let derived = Pred::new("Eq", wrap_tower_type(8), sp);
+    let row = bench_resolution("derived_eq_tower", &derived_env, &derived, iters);
+    assert!(
+        row.hit_rate >= 0.90,
+        "derived tower hit rate {:.4} < 0.90",
+        row.hit_rate
+    );
+    assert!(
+        row.construction_ratio >= 2.0,
+        "derived tower construction ratio {:.2} < 2.0",
+        row.construction_ratio
+    );
+    rows.push(row);
+
     // Wide superclass graph: K Int pulls in 8 sibling superclass dicts.
     let wide_env = env_from_source(&wide_super_source(8));
     let wide = Pred::new("K", Type::int(), sp);
@@ -428,6 +463,7 @@ fn main() {
         ("example_member", "examples/member.mh"),
         ("example_maxlist", "examples/maxlist.mh"),
         ("example_sumsquares", "examples/sumsquares.mh"),
+        ("example_deriving", "examples/deriving.mh"),
     ] {
         let src = std::fs::read_to_string(path)
             .unwrap_or_else(|e| panic!("cannot read {path}: {e} (run from the workspace root)"));

@@ -4,6 +4,7 @@
 //! always yields a usable partial environment so later stages keep
 //! producing diagnostics for the rest of the program.
 
+use crate::data::{build_data_env, DataEnv};
 use crate::env::{ClassEnv, ClassInfo, Instance, MethodInfo};
 use crate::lower::{lower_pred, lower_type, LowerCtx};
 use std::collections::{HashMap, HashSet};
@@ -17,8 +18,12 @@ pub fn build_class_env(program: &Program, gen: &mut VarGen) -> (ClassEnv, Diagno
     let mut diags = Diagnostics::new();
     let mut env = ClassEnv::default();
 
+    // The data environment comes first: class method signatures,
+    // instance heads, and contexts may all mention user data types.
+    let datas = build_data_env(program, gen, &mut diags);
+
     for decl in &program.classes {
-        add_class(&mut env, decl, gen, &mut diags);
+        add_class(&mut env, decl, gen, &mut diags, &datas);
     }
     validate_superclasses(&mut env, &mut diags);
 
@@ -31,13 +36,21 @@ pub fn build_class_env(program: &Program, gen: &mut VarGen) -> (ClassEnv, Diagno
             &mut next_inst_id,
             gen,
             &mut diags,
+            &datas,
         );
     }
 
+    env.datas = datas;
     (env, diags)
 }
 
-fn add_class(env: &mut ClassEnv, decl: &ClassDecl, gen: &mut VarGen, diags: &mut Diagnostics) {
+fn add_class(
+    env: &mut ClassEnv,
+    decl: &ClassDecl,
+    gen: &mut VarGen,
+    diags: &mut Diagnostics,
+    datas: &DataEnv,
+) {
     if let Some(prev) = env.classes.get(&decl.name) {
         diags.push(
             tc_syntax::Diagnostic::error(
@@ -104,9 +117,9 @@ fn add_class(env: &mut ClassEnv, decl: &ClassDecl, gen: &mut VarGen, diags: &mut
         let class_var = ctx.var(&decl.tyvar, gen);
         let mut preds: Vec<Pred> = vec![Pred::new(decl.name.clone(), Type::Var(class_var), m.span)];
         for p in &m.qual_ty.context {
-            preds.push(lower_pred(p, &mut ctx, gen, diags));
+            preds.push(lower_pred(p, &mut ctx, gen, diags, datas));
         }
-        let body = lower_type(&m.qual_ty.ty, &mut ctx, gen, diags);
+        let body = lower_type(&m.qual_ty.ty, &mut ctx, gen, diags, datas);
         if !body.contains_var(class_var) {
             diags.error(
                 Stage::Classes,
@@ -242,6 +255,7 @@ fn add_instance(
     next_id: &mut usize,
     gen: &mut VarGen,
     diags: &mut Diagnostics,
+    datas: &DataEnv,
 ) {
     let Some(class) = env.classes.get(&decl.class) else {
         diags.error(
@@ -255,7 +269,7 @@ fn add_instance(
     let class_methods: Vec<String> = class.methods.iter().map(|m| m.name.clone()).collect();
 
     let mut ctx = LowerCtx::new();
-    let head_ty = lower_type(&decl.head, &mut ctx, gen, diags);
+    let head_ty = lower_type(&decl.head, &mut ctx, gen, diags, datas);
     if head_ty.head_con().is_none() {
         diags.error(
             Stage::Classes,
@@ -270,7 +284,7 @@ fn add_instance(
     let preds: Vec<Pred> = decl
         .context
         .iter()
-        .map(|p| lower_pred(p, &mut ctx, gen, diags))
+        .map(|p| lower_pred(p, &mut ctx, gen, diags, datas))
         .collect();
 
     // Overlapping heads are *not* rejected here: every structurally

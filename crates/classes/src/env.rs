@@ -1,5 +1,6 @@
 //! The validated class/instance environment.
 
+use crate::data::DataEnv;
 use std::collections::HashMap;
 use tc_syntax::Span;
 use tc_types::{Pred, Scheme, Type};
@@ -84,6 +85,10 @@ pub struct ClassEnv {
     /// participants' superclass lists) so traversals terminate; the
     /// coherence checker turns this record into `L0010` findings.
     pub cyclic_classes: Vec<String>,
+    /// Data types and value constructors (builtins plus user `data`
+    /// declarations), built before the classes so every lowered type
+    /// can reference them.
+    pub datas: DataEnv,
 }
 
 impl ClassEnv {

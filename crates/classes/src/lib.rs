@@ -27,11 +27,13 @@
 #![cfg_attr(not(test), deny(clippy::panic))]
 
 pub mod build;
+pub mod data;
 pub mod env;
 pub mod lower;
 pub mod resolve;
 
 pub use build::build_class_env;
+pub use data::{build_data_env, ConInfo, DataEnv, DataInfo};
 pub use env::{ClassEnv, ClassInfo, Instance, MethodInfo};
 pub use lower::{lower_qual_type, lower_type, LowerCtx};
 pub use resolve::{

@@ -2,23 +2,15 @@
 //!
 //! Shared by class-environment construction (instance heads, method
 //! signatures) and by `tc-core` (top-level type signatures). Lowering
-//! validates constructor names and arities — the language has a closed
-//! set of type constructors (`Int`, `Bool`, `List`, and `->`), so an
-//! unknown or misapplied constructor is a diagnostic, not a latent
-//! runtime surprise.
+//! validates constructor names and arities against the data-type
+//! environment — the builtins (`Int`, `Bool`, `List`, and `->`) plus
+//! every user `data` declaration — so an unknown or misapplied
+//! constructor is a diagnostic, not a latent runtime surprise.
 
+use crate::data::DataEnv;
 use std::collections::HashMap;
 use tc_syntax::{Diagnostics, PredExpr, QualTypeExpr, Stage, TypeExpr};
 use tc_types::{Pred, Qual, TyVar, Type, VarGen};
-
-/// Arity table for the closed constructor set.
-fn con_arity(name: &str) -> Option<usize> {
-    match name {
-        "Int" | "Bool" => Some(0),
-        "List" => Some(1),
-        _ => None,
-    }
-}
 
 /// A lowering scope: maps surface type-variable names (`a`, `b`) to
 /// internal [`TyVar`]s, minting fresh ones on first use.
@@ -50,21 +42,28 @@ pub fn lower_type(
     ctx: &mut LowerCtx,
     gen: &mut VarGen,
     diags: &mut Diagnostics,
+    datas: &DataEnv,
 ) -> Type {
-    let t = lower_rec(te, ctx, gen, diags);
-    check_arity(&t, te, diags);
+    let t = lower_rec(te, ctx, gen, diags, datas);
+    check_arity(&t, te, diags, datas);
     t
 }
 
-fn lower_rec(te: &TypeExpr, ctx: &mut LowerCtx, gen: &mut VarGen, diags: &mut Diagnostics) -> Type {
+fn lower_rec(
+    te: &TypeExpr,
+    ctx: &mut LowerCtx,
+    gen: &mut VarGen,
+    diags: &mut Diagnostics,
+    datas: &DataEnv,
+) -> Type {
     match te {
         TypeExpr::Var(n, _) => Type::Var(ctx.var(n, gen)),
         TypeExpr::Con(n, span) => {
-            if con_arity(n).is_none() {
+            if datas.type_arity(n).is_none() {
                 diags.error(
                     Stage::Classes,
                     "E0310",
-                    format!("unknown type constructor `{n}` (known: Int, Bool, List)"),
+                    format!("unknown type constructor `{n}`"),
                     *span,
                 );
                 // Recover with a fresh variable so inference continues.
@@ -74,13 +73,13 @@ fn lower_rec(te: &TypeExpr, ctx: &mut LowerCtx, gen: &mut VarGen, diags: &mut Di
             }
         }
         TypeExpr::App(f, a, _) => {
-            let lf = lower_rec(f, ctx, gen, diags);
-            let la = lower_rec(a, ctx, gen, diags);
+            let lf = lower_rec(f, ctx, gen, diags, datas);
+            let la = lower_rec(a, ctx, gen, diags, datas);
             Type::App(Box::new(lf), Box::new(la))
         }
         TypeExpr::Fun(a, b, _) => {
-            let la = lower_rec(a, ctx, gen, diags);
-            let lb = lower_rec(b, ctx, gen, diags);
+            let la = lower_rec(a, ctx, gen, diags, datas);
+            let lb = lower_rec(b, ctx, gen, diags, datas);
             Type::Fun(Box::new(la), Box::new(lb))
         }
     }
@@ -89,14 +88,14 @@ fn lower_rec(te: &TypeExpr, ctx: &mut LowerCtx, gen: &mut VarGen, diags: &mut Di
 /// Post-hoc arity validation on the lowered type. Walks the application
 /// spine of every node; reports a diagnostic when a constructor is
 /// under- or over-applied (e.g. bare `List`, or `Int Bool`).
-fn check_arity(t: &Type, origin: &TypeExpr, diags: &mut Diagnostics) {
+fn check_arity(t: &Type, origin: &TypeExpr, diags: &mut Diagnostics, datas: &DataEnv) {
     // Iterative traversal; each node checked once.
     let mut stack = vec![(t, true)];
     while let Some((node, is_full_spine)) = stack.pop() {
         match node {
             Type::Con(n) => {
                 if is_full_spine {
-                    if let Some(arity) = con_arity(n) {
+                    if let Some(arity) = datas.type_arity(n) {
                         if arity != 0 {
                             diags.error(
                                 Stage::Classes,
@@ -120,7 +119,7 @@ fn check_arity(t: &Type, origin: &TypeExpr, diags: &mut Diagnostics) {
                 }
                 match head {
                     Type::Con(n) => {
-                        if let Some(arity) = con_arity(n) {
+                        if let Some(arity) = datas.type_arity(n) {
                             if arity != args.len() {
                                 diags.error(
                                     Stage::Classes,
@@ -171,8 +170,9 @@ pub fn lower_pred(
     ctx: &mut LowerCtx,
     gen: &mut VarGen,
     diags: &mut Diagnostics,
+    datas: &DataEnv,
 ) -> Pred {
-    let ty = lower_type(&pe.ty, ctx, gen, diags);
+    let ty = lower_type(&pe.ty, ctx, gen, diags, datas);
     Pred::new(pe.class.clone(), ty, pe.span)
 }
 
@@ -183,13 +183,14 @@ pub fn lower_qual_type(
     ctx: &mut LowerCtx,
     gen: &mut VarGen,
     diags: &mut Diagnostics,
+    datas: &DataEnv,
 ) -> Qual<Type> {
     let preds = qt
         .context
         .iter()
-        .map(|p| lower_pred(p, ctx, gen, diags))
+        .map(|p| lower_pred(p, ctx, gen, diags, datas))
         .collect();
-    let ty = lower_type(&qt.ty, ctx, gen, diags);
+    let ty = lower_type(&qt.ty, ctx, gen, diags, datas);
     Qual::new(preds, ty)
 }
 
@@ -206,7 +207,14 @@ mod tests {
         let mut diags = Diagnostics::new();
         let mut ctx = LowerCtx::new();
         let mut gen = VarGen::new();
-        let t = lower_type(&prog.sigs[0].qual_ty.ty, &mut ctx, &mut gen, &mut diags);
+        let datas = DataEnv::with_builtins();
+        let t = lower_type(
+            &prog.sigs[0].qual_ty.ty,
+            &mut ctx,
+            &mut gen,
+            &mut diags,
+            &datas,
+        );
         (t, diags)
     }
 
@@ -248,7 +256,14 @@ mod tests {
         let mut diags = Diagnostics::new();
         let mut ctx = LowerCtx::new();
         let mut gen = VarGen::new();
-        let q = lower_qual_type(&prog.sigs[0].qual_ty, &mut ctx, &mut gen, &mut diags);
+        let datas = DataEnv::with_builtins();
+        let q = lower_qual_type(
+            &prog.sigs[0].qual_ty,
+            &mut ctx,
+            &mut gen,
+            &mut diags,
+            &datas,
+        );
         assert!(diags.is_empty());
         // `a` in the context and in the body must be the same variable.
         let body_var = match &q.head {

@@ -31,7 +31,7 @@
 //! the harness only claims violations it actually witnessed.
 
 use crate::{CoherenceConfig, Emitter, Rule};
-use tc_classes::{ClassEnv, Instance, ReduceBudget, ResolveCache};
+use tc_classes::{ClassEnv, DataEnv, Instance, ReduceBudget, ResolveCache};
 use tc_core::ElabOptions;
 use tc_eval::{Budget, EvalOptions};
 use tc_syntax::{Binding, Diagnostics, Expr, Program, Span};
@@ -169,11 +169,14 @@ pub fn check_laws(
         profile: false,
         cancel: opts.cancel.clone(),
     };
+    // Lower the elaborated program once; each case still evaluates in
+    // its own hermetic evaluator (fresh budget, cache, arena).
+    let lowered = tc_eval::LoweredProgram::new(&elab.core);
     for case in &cases {
         if opts.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
             break;
         }
-        let run = tc_eval::run_entry_with(&elab.core, &case.entry, &run_opts);
+        let run = tc_eval::run_lowered_with(&lowered, &case.entry, &run_opts);
         metrics.incr(CounterId::CoherenceLawsRun);
         if run.result.as_deref() == Ok("False") {
             metrics.incr(CounterId::CoherenceLawsFailed);
@@ -376,8 +379,14 @@ fn method_of(cenv: &ClassEnv, class: &str, method: &str) -> bool {
 fn checkable_instances(input: &LawInput<'_>, class: &str) -> Vec<(String, Span, Vec<Sample>)> {
     let mut out = Vec::new();
     for inst in input.cenv.instances_of(class) {
+        // A violation on a prelude instance would be suppressed at
+        // report time anyway (its span blames code the user can't
+        // edit), so don't spend elaboration and evaluation on it.
+        if inst.span != Span::DUMMY && (inst.span.end as usize) <= input.user_start {
+            continue;
+        }
         let ty = ground(&inst.head.ty);
-        let samples = samples_for(&ty, 0);
+        let samples = samples_for(&ty, 0, &input.cenv.datas);
         if samples.is_empty() {
             continue;
         }
@@ -410,11 +419,18 @@ fn ground(ty: &Type) -> Type {
     }
 }
 
+/// How deep sample construction may nest data constructors. Depth 2
+/// is enough to distinguish `S Z` from `S (S Z)` while keeping the
+/// law count per instance small (at most 3 samples per type).
+const SAMPLE_DEPTH_LIMIT: usize = 2;
+
 /// Enumerate small sample values of a ground type. Types we cannot
 /// enumerate (functions, unknown constructors) yield no samples and
 /// the instance is skipped. Lists recurse one level (element samples)
-/// and build values with the builtin `nil`/`cons`.
-fn samples_for(ty: &Type, depth: usize) -> Vec<Sample> {
+/// and build values with the builtin `nil`/`cons`; user-defined data
+/// types build depth-bounded constructor applications from the
+/// [`DataEnv`].
+fn samples_for(ty: &Type, depth: usize, datas: &DataEnv) -> Vec<Sample> {
     match ty {
         Type::Con(c) if c == "Int" => [0i64, 1, 2]
             .iter()
@@ -431,7 +447,7 @@ fn samples_for(ty: &Type, depth: usize) -> Vec<Sample> {
             })
             .collect(),
         Type::App(f, elem) if **f == Type::Con("List".into()) && depth == 0 => {
-            let elems = samples_for(elem, depth + 1);
+            let elems = samples_for(elem, depth + 1, datas);
             if elems.is_empty() {
                 return Vec::new();
             }
@@ -451,8 +467,116 @@ fn samples_for(ty: &Type, depth: usize) -> Vec<Sample> {
             };
             vec![nil, one, two]
         }
-        _ => Vec::new(),
+        _ => data_samples(ty, depth, datas),
     }
+}
+
+/// `Pair Int Bool` → `("Pair", [Int, Bool])` — the constructor spine
+/// of an applied type, or `None` for functions and variables.
+fn type_spine(ty: &Type) -> Option<(&str, Vec<&Type>)> {
+    let mut args = Vec::new();
+    let mut t = ty;
+    loop {
+        match t {
+            Type::Con(c) => {
+                args.reverse();
+                return Some((c, args));
+            }
+            Type::App(f, a) => {
+                args.push(a.as_ref());
+                t = f;
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Depth-bounded sample values of a user-defined data type: up to 3
+/// constructor applications, walking constructors in declaration (tag)
+/// order and instantiating field types at the type's ground arguments.
+/// Recursive fields re-enter [`samples_for`] one level deeper, so
+/// `data Nat = Z | S Nat` yields `Z`, `S Z`, `S (S Z)` and always
+/// terminates. A constructor whose fields cannot be sampled (function
+/// field, recursion past the depth limit) is skipped.
+fn data_samples(ty: &Type, depth: usize, datas: &DataEnv) -> Vec<Sample> {
+    if depth > SAMPLE_DEPTH_LIMIT {
+        return Vec::new();
+    }
+    let Some((head, args)) = type_spine(ty) else {
+        return Vec::new();
+    };
+    let Some(info) = datas.data(head) else {
+        return Vec::new();
+    };
+    if info.builtin || info.arity != args.len() {
+        return Vec::new();
+    }
+    let mut out: Vec<Sample> = Vec::new();
+    for cname in &info.constructors {
+        if out.len() >= 3 {
+            break;
+        }
+        let Some(ci) = datas.con(cname) else {
+            continue;
+        };
+        if ci.arity == 0 {
+            out.push(Sample {
+                expr: con(cname),
+                text: cname.clone(),
+            });
+            continue;
+        }
+        // Instantiate the constructor's field types at this type's
+        // ground arguments.
+        let mut subst = tc_types::Subst::new();
+        for (v, a) in ci.scheme.vars.iter().zip(&args) {
+            if subst.bind(*v, (*a).clone()).is_err() {
+                return Vec::new();
+            }
+        }
+        let mut field_tys = Vec::with_capacity(ci.arity);
+        let mut t = &ci.scheme.qual.head;
+        for _ in 0..ci.arity {
+            match t {
+                Type::Fun(a, b) => {
+                    field_tys.push(subst.apply(a));
+                    t = b;
+                }
+                _ => return Vec::new(),
+            }
+        }
+        let field_samples: Vec<Vec<Sample>> = field_tys
+            .iter()
+            .map(|ft| samples_for(ft, depth + 1, datas))
+            .collect();
+        if field_samples.iter().any(Vec::is_empty) {
+            continue;
+        }
+        // Up to two variants per constructor: each field's first
+        // sample, then each field's second (where one exists) so
+        // single-constructor types still get distinct samples.
+        for k in 0..2usize {
+            if out.len() >= 3 {
+                break;
+            }
+            let picks: Vec<&Sample> = field_samples
+                .iter()
+                .map(|fs| fs.get(k).unwrap_or(&fs[0]))
+                .collect();
+            let mut expr = con(cname);
+            let mut text = cname.clone();
+            for p in &picks {
+                expr = app(expr, p.expr.clone());
+                text.push(' ');
+                text.push_str(&p.atom());
+            }
+            if k == 1 && out.last().is_some_and(|s| s.text == text) {
+                break;
+            }
+            out.push(Sample { expr, text });
+        }
+    }
+    out
 }
 
 fn var(name: &str) -> Expr {
@@ -633,6 +757,49 @@ mod tests {
         // Constant-False eq fails reflexivity and nothing else (every
         // implication's premise is False, so it holds vacuously).
         assert_eq!(metrics.counter(CounterId::CoherenceLawsFailed), 3);
+    }
+
+    #[test]
+    fn derived_instances_on_data_types_are_law_checked_clean() {
+        let src = format!(
+            "{EQ}class Eq a => Ord a where {{ lte :: a -> a -> Bool; }};\n\
+             instance Eq Int where {{ eq = primEqInt; }};\n\
+             instance Ord Int where {{ lte = primLeInt; }};\n\
+             data Color = Red | Green | Blue deriving (Eq, Ord);\n\
+             data Pair a b = MkPair a b deriving (Eq, Ord);\n\
+             data Nat = Z | S Nat deriving (Eq, Ord);"
+        );
+        assert!(laws(&src).is_empty(), "{:?}", laws(&src));
+    }
+
+    #[test]
+    fn broken_handwritten_instance_on_data_type_is_caught() {
+        // `eq` that always answers False fails reflexivity at `Red`.
+        let src = format!(
+            "{EQ}data Color = Red | Green | Blue;\n\
+             instance Eq Color where {{ eq = \\x y -> False; }};"
+        );
+        let d = laws(&src);
+        let v = d
+            .iter()
+            .find(|d| d.code == "L0011" && d.message.contains("Color"))
+            .expect("law violation on Color");
+        assert!(v.message.contains("reflexivity"), "{}", v.message);
+        assert!(
+            v.notes.iter().any(|(_, n)| n.contains("Red")),
+            "failing sample should cite a constructor: {:?}",
+            v.notes
+        );
+    }
+
+    #[test]
+    fn recursive_data_type_samples_are_depth_bounded() {
+        // A lawful Nat instance: sampling must terminate and be clean.
+        let src = format!(
+            "{EQ}data Nat = Z | S Nat deriving (Eq);\n\
+             instance Eq Int where {{ eq = primEqInt; }};"
+        );
+        assert!(laws(&src).is_empty(), "{:?}", laws(&src));
     }
 
     #[test]

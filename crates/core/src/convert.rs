@@ -132,7 +132,17 @@ pub fn mentions_skolem(t: &Type) -> bool {
 /// inference inserts.
 pub fn convert(e: &CoreExpr, cx: &ConvertCtx<'_>, diags: &mut Diagnostics) -> CoreExpr {
     match e {
-        CoreExpr::Var(_) | CoreExpr::Lit(_) | CoreExpr::Fail(_) => e.clone(),
+        CoreExpr::Var(_) | CoreExpr::Lit(_) | CoreExpr::Fail(_) | CoreExpr::Con { .. } => e.clone(),
+        CoreExpr::Case(scrut, arms) => CoreExpr::Case(
+            Box::new(convert(scrut, cx, diags)),
+            arms.iter()
+                .map(|arm| tc_coreir::CoreArm {
+                    con: arm.con.clone(),
+                    binders: arm.binders.clone(),
+                    body: convert(&arm.body, cx, diags),
+                })
+                .collect(),
+        ),
         CoreExpr::App(f, x) => CoreExpr::app(convert(f, cx, diags), convert(x, cx, diags)),
         CoreExpr::Lam(p, b) => CoreExpr::Lam(p.clone(), Box::new(convert(b, cx, diags))),
         CoreExpr::LetRec(bs, b) => CoreExpr::LetRec(

@@ -253,21 +253,35 @@ impl Infer<'_> {
             Expr::Con(n, span) => match n.as_str() {
                 "True" => (Type::bool(), CoreExpr::Lit(Literal::Bool(true))),
                 "False" => (Type::bool(), CoreExpr::Lit(Literal::Bool(false))),
-                _ => {
-                    self.diags.error(
-                        Stage::TypeCheck,
-                        "E0404",
-                        format!(
-                            "unknown data constructor `{n}` \
-                             (only True and False exist; lists use nil/cons)"
-                        ),
-                        *span,
-                    );
-                    (
-                        self.fresh_ty(),
-                        CoreExpr::Fail(format!("unknown constructor `{n}`")),
-                    )
-                }
+                // The builtin list constructors are ordinary globals in
+                // expression position (the evaluator's `nil`/`cons`).
+                "Nil" => self.infer_var("nil", *span),
+                "Cons" => self.infer_var("cons", *span),
+                _ => match self.cenv.datas.con(n).cloned() {
+                    Some(ci) => {
+                        let (_, ty) = self.instantiate(&ci.scheme, *span);
+                        (
+                            ty,
+                            CoreExpr::Con {
+                                name: ci.name,
+                                tag: ci.tag,
+                                arity: ci.arity,
+                            },
+                        )
+                    }
+                    None => {
+                        self.diags.error(
+                            Stage::TypeCheck,
+                            "E0404",
+                            format!("unknown data constructor `{n}`"),
+                            *span,
+                        );
+                        (
+                            self.fresh_ty(),
+                            CoreExpr::Fail(format!("unknown constructor `{n}`")),
+                        )
+                    }
+                },
             },
             Expr::Var(n, span) => self.infer_var(n, *span),
             Expr::App(f, x, span) => {
@@ -313,11 +327,131 @@ impl Infer<'_> {
                 self.unify_at(&tt, &tf_, *span);
                 (tt, CoreExpr::If(Box::new(cc), Box::new(ct), Box::new(cf)))
             }
+            Expr::Case(scrut, arms, _) => self.infer_case(scrut, arms),
             Expr::Hole(_) => (
                 self.fresh_ty(),
                 CoreExpr::Fail("expression could not be parsed".into()),
             ),
         }
+    }
+
+    /// Infer a `case`: every arm's pattern type unifies with the
+    /// scrutinee, every arm's body with one shared result type.
+    /// Constructor patterns are looked up in the data environment
+    /// (builtins `True`/`False`/`Nil`/`Cons` included), their field
+    /// types obtained by instantiating the constructor's scheme.
+    fn infer_case(&mut self, scrut: &Expr, arms: &[tc_syntax::CaseArm]) -> (Type, CoreExpr) {
+        let (ts, cs) = self.infer_expr(scrut);
+        let result = self.fresh_ty();
+        if arms.is_empty() {
+            // Parser recovery only: an empty case was already reported
+            // (E0210), so just produce a deterministic failure.
+            return (result, CoreExpr::Fail("case with no alternatives".into()));
+        }
+        let mut core_arms: Vec<tc_coreir::CoreArm> = Vec::new();
+        for arm in arms {
+            match &arm.pattern {
+                tc_syntax::Pattern::Var(n, _) => {
+                    let base = self.locals.len();
+                    if n != "_" {
+                        self.locals.push((n.clone(), ts.clone()));
+                    }
+                    let (tb, cb) = self.infer_expr(&arm.body);
+                    self.locals.truncate(base);
+                    self.unify_at(&result, &tb, arm.span);
+                    core_arms.push(tc_coreir::CoreArm {
+                        con: None,
+                        binders: vec![n.clone()],
+                        body: cb,
+                    });
+                }
+                tc_syntax::Pattern::Con {
+                    name,
+                    binders,
+                    span: pspan,
+                } => {
+                    let Some(ci) = self.cenv.datas.con(name).cloned() else {
+                        self.diags.error(
+                            Stage::TypeCheck,
+                            "E0404",
+                            format!("unknown data constructor `{name}` in pattern"),
+                            *pspan,
+                        );
+                        // Recover: bind the binders at fresh types and
+                        // keep the arm (it can never match at runtime).
+                        let base = self.locals.len();
+                        for (b, _) in binders {
+                            if b != "_" {
+                                let t = self.fresh_ty();
+                                self.locals.push((b.clone(), t));
+                            }
+                        }
+                        let (tb, cb) = self.infer_expr(&arm.body);
+                        self.locals.truncate(base);
+                        self.unify_at(&result, &tb, arm.span);
+                        core_arms.push(tc_coreir::CoreArm {
+                            con: Some((name.clone(), u32::MAX)),
+                            binders: binders.iter().map(|(b, _)| b.clone()).collect(),
+                            body: cb,
+                        });
+                        continue;
+                    };
+                    if binders.len() != ci.arity {
+                        self.diags.error(
+                            Stage::TypeCheck,
+                            "E0416",
+                            format!(
+                                "constructor `{name}` has {} field(s), but this pattern \
+                                 binds {}",
+                                ci.arity,
+                                binders.len()
+                            ),
+                            *pspan,
+                        );
+                    }
+                    // Instantiate the constructor scheme and peel one
+                    // function arrow per field; the final result type is
+                    // the scrutinee's.
+                    let (_, cty) = self.instantiate(&ci.scheme, *pspan);
+                    let mut t = cty;
+                    let mut fields: Vec<Type> = Vec::with_capacity(ci.arity);
+                    for _ in 0..ci.arity {
+                        match t {
+                            Type::Fun(a, b) => {
+                                fields.push(*a);
+                                t = *b;
+                            }
+                            other => {
+                                t = other;
+                                fields.push(self.fresh_ty());
+                            }
+                        }
+                    }
+                    self.unify_at(&ts, &t, *pspan);
+                    let base = self.locals.len();
+                    for (i, (b, _)) in binders.iter().enumerate() {
+                        if b != "_" {
+                            // Extra binders (arity mismatch, already
+                            // reported) recover with fresh types.
+                            let ft = match fields.get(i) {
+                                Some(f) => f.clone(),
+                                None => self.fresh_ty(),
+                            };
+                            self.locals.push((b.clone(), ft));
+                        }
+                    }
+                    let (tb, cb) = self.infer_expr(&arm.body);
+                    self.locals.truncate(base);
+                    self.unify_at(&result, &tb, arm.span);
+                    core_arms.push(tc_coreir::CoreArm {
+                        con: Some((name.clone(), ci.tag)),
+                        binders: binders.iter().map(|(b, _)| b.clone()).collect(),
+                        body: cb,
+                    });
+                }
+            }
+        }
+        (result, CoreExpr::Case(Box::new(cs), core_arms))
     }
 
     fn convert_member(
@@ -464,7 +598,7 @@ pub fn elaborate_with_cache(
             continue;
         }
         let mut ctx = LowerCtx::new();
-        let qual = lower_qual_type(&sig.qual_ty, &mut ctx, inf.gen, &mut inf.diags);
+        let qual = lower_qual_type(&sig.qual_ty, &mut ctx, inf.gen, &mut inf.diags, &cenv.datas);
         for (name, var) in &ctx.vars {
             inf.skolem_names.insert(var.0, name.clone());
         }

@@ -53,6 +53,28 @@ fn collect<'a>(e: &'a Expr, bound: &mut Vec<&'a str>, out: &mut BTreeSet<String>
             collect(t, bound, out);
             collect(f, bound, out);
         }
+        Expr::Case(scrut, arms, _) => {
+            collect(scrut, bound, out);
+            for arm in arms {
+                let before = bound.len();
+                match &arm.pattern {
+                    tc_syntax::Pattern::Var(n, _) => {
+                        if n != "_" {
+                            bound.push(n);
+                        }
+                    }
+                    tc_syntax::Pattern::Con { binders, .. } => {
+                        for (b, _) in binders {
+                            if b != "_" {
+                                bound.push(b);
+                            }
+                        }
+                    }
+                }
+                collect(&arm.body, bound, out);
+                bound.truncate(before);
+            }
+        }
     }
 }
 

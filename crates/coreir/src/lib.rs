@@ -105,6 +105,19 @@ pub enum CoreExpr {
     Tuple(Vec<CoreExpr>),
     /// Dictionary slot selection (superclass dict or method).
     Proj(usize, Box<CoreExpr>),
+    /// Saturated or partial data-constructor application: `Con` alone
+    /// is a value (or a curried function when `arity > 0`); the
+    /// evaluator builds a tagged value once `arity` arguments arrive.
+    Con {
+        name: String,
+        /// Declaration index within the data type; `case` dispatches on it.
+        tag: u32,
+        /// Number of fields.
+        arity: usize,
+    },
+    /// `case` over a scrutinee: each arm either matches one constructor
+    /// (binding its fields) or is a default that binds the scrutinee.
+    Case(Box<CoreExpr>, Vec<CoreArm>),
     /// Unresolved dictionary reference; present only between inference
     /// and dictionary conversion.
     Placeholder(PlaceholderId),
@@ -113,6 +126,19 @@ pub enum CoreExpr {
     /// still compiles to *something* deterministic) — evaluating it
     /// yields a structured error, never a panic.
     Fail(String),
+}
+
+/// One alternative of a [`CoreExpr::Case`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreArm {
+    /// `Some((name, tag))` for a constructor arm; `None` for a default
+    /// (variable or wildcard) arm.
+    pub con: Option<(String, u32)>,
+    /// Field binders for a constructor arm (one per field), or the
+    /// single scrutinee binder of a default arm. `_` entries bind
+    /// nothing.
+    pub binders: Vec<String>,
+    pub body: CoreExpr,
 }
 
 impl CoreExpr {
@@ -140,7 +166,17 @@ impl CoreExpr {
     /// another.
     pub fn push_children<'a>(&'a self, out: &mut Vec<&'a CoreExpr>) {
         match self {
-            CoreExpr::Var(_) | CoreExpr::Lit(_) | CoreExpr::Fail(_) | CoreExpr::Placeholder(_) => {}
+            CoreExpr::Var(_)
+            | CoreExpr::Lit(_)
+            | CoreExpr::Fail(_)
+            | CoreExpr::Placeholder(_)
+            | CoreExpr::Con { .. } => {}
+            CoreExpr::Case(scrut, arms) => {
+                out.push(scrut);
+                for arm in arms {
+                    out.push(&arm.body);
+                }
+            }
             CoreExpr::App(a, b) => {
                 out.push(a);
                 out.push(b);
@@ -303,6 +339,31 @@ fn pretty_rec(e: &CoreExpr, depth: usize, out: &mut String) {
         CoreExpr::Proj(i, b) => {
             let _ = write!(out, "#{i} ");
             pretty_rec(b, depth + 1, out);
+        }
+        CoreExpr::Con { name, .. } => out.push_str(name),
+        CoreExpr::Case(scrut, arms) => {
+            out.push_str("(case ");
+            pretty_rec(scrut, depth + 1, out);
+            out.push_str(" of {");
+            for (i, arm) in arms.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("; ");
+                }
+                match &arm.con {
+                    Some((name, _)) => {
+                        out.push_str(name);
+                        for b in &arm.binders {
+                            let _ = write!(out, " {b}");
+                        }
+                    }
+                    None => {
+                        out.push_str(arm.binders.first().map(String::as_str).unwrap_or("_"));
+                    }
+                }
+                out.push_str(" -> ");
+                pretty_rec(&arm.body, depth + 1, out);
+            }
+            out.push_str("})");
         }
         CoreExpr::Placeholder(id) => {
             let _ = write!(out, "<ph{id}>");

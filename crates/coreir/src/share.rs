@@ -136,6 +136,15 @@ fn free_vars(e: &CoreExpr, bound: &mut Vec<String>, out: &mut BTreeSet<String>) 
             free_vars(b, bound, out);
             bound.truncate(base);
         }
+        CoreExpr::Case(scrut, arms) => {
+            free_vars(scrut, bound, out);
+            for arm in arms {
+                let base = bound.len();
+                bound.extend(arm.binders.iter().cloned());
+                free_vars(&arm.body, bound, out);
+                bound.truncate(base);
+            }
+        }
         _ => {
             let mut kids = Vec::new();
             e.push_children(&mut kids);
@@ -242,9 +251,21 @@ fn rewrite(
         return rewrite_spine_args(e, self_name, shares, rewritten);
     }
     match e {
-        CoreExpr::Var(_) | CoreExpr::Lit(_) | CoreExpr::Fail(_) | CoreExpr::Placeholder(_) => {
-            e.clone()
-        }
+        CoreExpr::Var(_)
+        | CoreExpr::Lit(_)
+        | CoreExpr::Fail(_)
+        | CoreExpr::Placeholder(_)
+        | CoreExpr::Con { .. } => e.clone(),
+        CoreExpr::Case(scrut, arms) => CoreExpr::Case(
+            Box::new(rewrite(scrut, self_name, shares, rewritten)),
+            arms.iter()
+                .map(|arm| crate::CoreArm {
+                    con: arm.con.clone(),
+                    binders: arm.binders.clone(),
+                    body: rewrite(&arm.body, self_name, shares, rewritten),
+                })
+                .collect(),
+        ),
         CoreExpr::App(f, x) => CoreExpr::app(
             rewrite(f, self_name, shares, rewritten),
             rewrite(x, self_name, shares, rewritten),

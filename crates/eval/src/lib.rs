@@ -238,6 +238,9 @@ pub enum EvalError {
     /// A `CoreExpr::Fail` node (elaboration hole) or the `error`
     /// builtin was forced.
     Failure(String),
+    /// A `case` expression's scrutinee matched none of the
+    /// alternatives at runtime.
+    MatchFailure,
 }
 
 impl EvalError {
@@ -261,6 +264,7 @@ impl EvalError {
             EvalError::DivideByZero => "divide-by-zero",
             EvalError::IntOverflow => "int-overflow",
             EvalError::Failure(_) => "failure",
+            EvalError::MatchFailure => "match-failure",
         }
     }
 
@@ -304,6 +308,9 @@ impl fmt::Display for EvalError {
             EvalError::DivideByZero => f.write_str("division by zero"),
             EvalError::IntOverflow => f.write_str("integer overflow"),
             EvalError::Failure(msg) => write!(f, "runtime failure: {msg}"),
+            // No payload: the differential suite compares rendered
+            // output across resolution modes byte for byte.
+            EvalError::MatchFailure => f.write_str("no case alternative matched"),
         }
     }
 }
@@ -319,7 +326,23 @@ pub enum RExpr {
     If(Rc<RExpr>, Rc<RExpr>, Rc<RExpr>),
     Tuple(Vec<Rc<RExpr>>),
     Proj(usize, Rc<RExpr>),
+    /// A data constructor: a curried function of `arity` arguments
+    /// that builds a [`Value::Data`].
+    Con {
+        name: Rc<str>,
+        tag: u32,
+        arity: usize,
+    },
+    Case(Rc<RExpr>, Vec<RArm>),
     Fail(String),
+}
+
+/// One runtime case alternative. `con: None` is the default arm, whose
+/// single binder (if not `_`) binds the whole scrutinee.
+pub struct RArm {
+    pub con: Option<(Rc<str>, u32)>,
+    pub binders: Vec<String>,
+    pub body: Rc<RExpr>,
 }
 
 /// One-time translation; recursion depth is bounded by the elaborator's
@@ -337,6 +360,21 @@ fn lower(e: &CoreExpr) -> Rc<RExpr> {
         CoreExpr::If(c, t, f) => RExpr::If(lower(c), lower(t), lower(f)),
         CoreExpr::Tuple(xs) => RExpr::Tuple(xs.iter().map(lower).collect()),
         CoreExpr::Proj(i, b) => RExpr::Proj(*i, lower(b)),
+        CoreExpr::Con { name, tag, arity } => RExpr::Con {
+            name: Rc::from(name.as_str()),
+            tag: *tag,
+            arity: *arity,
+        },
+        CoreExpr::Case(scrut, arms) => RExpr::Case(
+            lower(scrut),
+            arms.iter()
+                .map(|a| RArm {
+                    con: a.con.as_ref().map(|(n, t)| (Rc::from(n.as_str()), *t)),
+                    binders: a.binders.clone(),
+                    body: lower(&a.body),
+                })
+                .collect(),
+        ),
         // A placeholder surviving to runtime is an elaborator invariant
         // violation; degrade to a structured failure.
         CoreExpr::Placeholder(id) => RExpr::Fail(format!("unresolved placeholder #{id}")),
@@ -395,6 +433,14 @@ pub enum Value {
     Tuple(Vec<ThunkRef>),
     Nil,
     Cons(ThunkRef, ThunkRef),
+    /// A user-defined data constructor, possibly partially applied
+    /// (`fields.len() < arity`); saturated once `fields.len() == arity`.
+    Data {
+        name: Rc<str>,
+        tag: u32,
+        arity: usize,
+        fields: Vec<ThunkRef>,
+    },
 }
 
 impl fmt::Debug for Value {
@@ -407,6 +453,7 @@ impl fmt::Debug for Value {
             Value::Tuple(xs) => write!(f, "Tuple(#{})", xs.len()),
             Value::Nil => f.write_str("Nil"),
             Value::Cons(_, _) => f.write_str("Cons(..)"),
+            Value::Data { name, fields, .. } => write!(f, "Data({name}/{})", fields.len()),
         }
     }
 }
@@ -476,15 +523,38 @@ impl Drop for Evaluator {
     }
 }
 
+/// A core program's globals, lowered once. Lowering is linear in
+/// program size, so callers that evaluate many entry points of the
+/// same program (the class-law harness, bench loops) should lower once
+/// and build each [`Evaluator`] from the shared result — the lowered
+/// bodies are `Rc`-shared, so the per-evaluator cost is one map clone.
+#[derive(Clone)]
+pub struct LoweredProgram {
+    globals: HashMap<String, Rc<RExpr>>,
+}
+
+impl LoweredProgram {
+    pub fn new(prog: &CoreProgram) -> Self {
+        LoweredProgram {
+            globals: prog
+                .binds
+                .iter()
+                .map(|(n, e)| (n.clone(), lower(e)))
+                .collect(),
+        }
+    }
+}
+
 impl Evaluator {
     pub fn new(prog: &CoreProgram, budget: Budget) -> Self {
-        let globals = prog
-            .binds
-            .iter()
-            .map(|(n, e)| (n.clone(), lower(e)))
-            .collect();
+        Self::from_lowered(&LoweredProgram::new(prog), budget)
+    }
+
+    /// A fresh evaluator (own budget, cache, and arena) over an
+    /// already-lowered program.
+    pub fn from_lowered(prog: &LoweredProgram, budget: Budget) -> Self {
         Evaluator {
-            globals,
+            globals: prog.globals.clone(),
             global_cache: HashMap::new(),
             budget,
             fuel_left: budget.fuel,
@@ -747,8 +817,98 @@ impl Evaluator {
                 },
                 _ => Err(EvalError::BadProjection { slot: *i }),
             },
+            RExpr::Con { name, tag, arity } => {
+                self.alloc()?;
+                Ok(Value::Data {
+                    name: name.clone(),
+                    tag: *tag,
+                    arity: *arity,
+                    fields: Vec::new(),
+                })
+            }
+            RExpr::Case(scrut, arms) => {
+                let sv = self.eval(scrut, env, depth + 1)?;
+                self.eval_case(&sv, arms, env, depth)
+            }
             RExpr::Fail(msg) => Err(EvalError::Failure(msg.clone())),
         }
+    }
+
+    /// Wrap an already-evaluated value as a thunk (used to bind a case
+    /// scrutinee in a default arm). Counts as an allocation.
+    fn value_thunk(&mut self, v: Value) -> Result<ThunkRef, EvalError> {
+        self.alloc()?;
+        self.thunks_created += 1;
+        let t = Rc::new(RefCell::new(Thunk::Evaluated(v)));
+        self.arena.push(t.clone());
+        Ok(t)
+    }
+
+    /// Select and evaluate the first matching case alternative.
+    ///
+    /// Constructor arms match [`Value::Data`] by constructor name, and
+    /// the builtin shapes (`Bool`, `Nil`/`Cons`) by their canonical
+    /// constructor names, so derived instances work uniformly over
+    /// user-defined and builtin data. A default arm always matches and
+    /// binds the scrutinee. An exhausted arm list is a structured
+    /// [`EvalError::MatchFailure`], never a panic.
+    fn eval_case(
+        &mut self,
+        scrut: &Value,
+        arms: &[RArm],
+        env: &Env,
+        depth: usize,
+    ) -> Result<Value, EvalError> {
+        for arm in arms {
+            let (con, tag) = match &arm.con {
+                None => {
+                    let mut new_env = env.clone();
+                    if let Some(b) = arm.binders.first() {
+                        if b != "_" {
+                            let t = self.value_thunk(scrut.clone())?;
+                            new_env = self.frame(b.clone(), t, new_env)?;
+                        }
+                    }
+                    return self.eval(&arm.body, &new_env, depth + 1);
+                }
+                Some((c, t)) => (c.as_ref(), *t),
+            };
+            let fields: Option<Vec<ThunkRef>> = match scrut {
+                Value::Data {
+                    name,
+                    arity,
+                    fields,
+                    ..
+                } => {
+                    if name.as_ref() == con && fields.len() == *arity {
+                        Some(fields.clone())
+                    } else {
+                        None
+                    }
+                }
+                Value::Bool(b) => {
+                    let want = if *b { "True" } else { "False" };
+                    (con == want).then(Vec::new)
+                }
+                Value::Nil => (con == "Nil").then(Vec::new),
+                Value::Cons(h, t) => (con == "Cons").then(|| vec![h.clone(), t.clone()]),
+                // A non-data scrutinee (function, tuple, int) can only
+                // reach a con arm from an already-diagnosed program;
+                // skip to the default arm or report a match failure.
+                _ => None,
+            };
+            let _ = tag; // tags are denormalized; names decide matches
+            if let Some(fields) = fields {
+                let mut new_env = env.clone();
+                for (b, f) in arm.binders.iter().zip(fields) {
+                    if b != "_" {
+                        new_env = self.frame(b.clone(), f, new_env)?;
+                    }
+                }
+                return self.eval(&arm.body, &new_env, depth + 1);
+            }
+        }
+        Err(EvalError::MatchFailure)
     }
 
     fn apply(&mut self, f: Value, arg: ThunkRef, depth: usize) -> Result<Value, EvalError> {
@@ -766,6 +926,21 @@ impl Evaluator {
                 } else {
                     Ok(Value::Prim { name, applied })
                 }
+            }
+            Value::Data {
+                name,
+                tag,
+                arity,
+                mut fields,
+            } if fields.len() < arity => {
+                self.alloc()?;
+                fields.push(arg);
+                Ok(Value::Data {
+                    name,
+                    tag,
+                    arity,
+                    fields,
+                })
             }
             _ => Err(EvalError::NotAFunction),
         }
@@ -894,6 +1069,28 @@ impl Evaluator {
                 }
                 out.push(']');
             }
+            Value::Data {
+                name,
+                arity,
+                fields,
+                ..
+            } => {
+                if fields.len() < *arity {
+                    // Partially applied constructor: a function value.
+                    out.push_str("<function>");
+                } else if fields.is_empty() {
+                    out.push_str(name);
+                } else {
+                    out.push('(');
+                    out.push_str(name);
+                    for f in fields.clone() {
+                        out.push(' ');
+                        let fv = self.force(&f, depth + 1)?;
+                        self.show_rec(&fv, out, depth + 1)?;
+                    }
+                    out.push(')');
+                }
+            }
         }
         Ok(())
     }
@@ -924,7 +1121,13 @@ pub struct EvalOptions {
 /// result, and report resource counters. Stats are meaningful on
 /// error too (they describe the work done up to the failure).
 pub fn run_entry_with(prog: &CoreProgram, entry: &str, opts: &EvalOptions) -> EvalRun {
-    let mut ev = Evaluator::new(prog, opts.budget);
+    run_lowered_with(&LoweredProgram::new(prog), entry, opts)
+}
+
+/// [`run_entry_with`] over a pre-lowered program; use when evaluating
+/// many entries of the same program.
+pub fn run_lowered_with(prog: &LoweredProgram, entry: &str, opts: &EvalOptions) -> EvalRun {
+    let mut ev = Evaluator::from_lowered(prog, opts.budget);
     if opts.profile {
         ev.enable_profiling();
     }
@@ -1288,6 +1491,174 @@ mod tests {
         let bad = prog(vec![("main", C::app(int(1), int(2)))]);
         let e = run_entry(&bad, "main", Budget::default()).unwrap_err();
         assert!(e.budget().is_none(), "{e:?}");
+    }
+
+    fn con(name: &str, tag: u32, arity: usize) -> C {
+        C::Con {
+            name: name.into(),
+            tag,
+            arity,
+        }
+    }
+
+    fn arm(con: Option<(&str, u32)>, binders: &[&str], body: C) -> tc_coreir::CoreArm {
+        tc_coreir::CoreArm {
+            con: con.map(|(n, t)| (n.to_string(), t)),
+            binders: binders.iter().map(|b| b.to_string()).collect(),
+            body,
+        }
+    }
+
+    #[test]
+    fn constructor_values_build_and_match() {
+        // data Pair = MkPair Int Int; main = case MkPair 1 2 of
+        //   { MkPair a b -> a + b }
+        let p = prog(vec![(
+            "main",
+            C::Case(
+                Box::new(C::apps(con("MkPair", 0, 2), vec![int(1), int(2)])),
+                vec![arm(
+                    Some(("MkPair", 0)),
+                    &["a", "b"],
+                    C::apps(var("primAddInt"), vec![var("a"), var("b")]),
+                )],
+            ),
+        )]);
+        assert_eq!(run_entry(&p, "main", Budget::default()).unwrap(), "3");
+    }
+
+    #[test]
+    fn nullary_constructors_select_arms_by_name() {
+        // case Green of { Red -> 1; Green -> 2; Blue -> 3 }
+        let p = prog(vec![(
+            "main",
+            C::Case(
+                Box::new(con("Green", 1, 0)),
+                vec![
+                    arm(Some(("Red", 0)), &[], int(1)),
+                    arm(Some(("Green", 1)), &[], int(2)),
+                    arm(Some(("Blue", 2)), &[], int(3)),
+                ],
+            ),
+        )]);
+        assert_eq!(run_entry(&p, "main", Budget::default()).unwrap(), "2");
+    }
+
+    #[test]
+    fn default_arm_binds_scrutinee() {
+        // case MkBox 7 of { Other -> 0; x -> case x of { MkBox n -> n } }
+        let p = prog(vec![(
+            "main",
+            C::Case(
+                Box::new(C::app(con("MkBox", 0, 1), int(7))),
+                vec![
+                    arm(Some(("Other", 9)), &[], int(0)),
+                    arm(
+                        None,
+                        &["x"],
+                        C::Case(
+                            Box::new(var("x")),
+                            vec![arm(Some(("MkBox", 0)), &["n"], var("n"))],
+                        ),
+                    ),
+                ],
+            ),
+        )]);
+        assert_eq!(run_entry(&p, "main", Budget::default()).unwrap(), "7");
+    }
+
+    #[test]
+    fn bool_and_list_values_match_builtin_constructor_names() {
+        // case True of { False -> 0; True -> case Cons 1 Nil of
+        //   { Nil -> 2; Cons h t -> h } }
+        let inner = C::Case(
+            Box::new(C::apps(var("cons"), vec![int(1), var("nil")])),
+            vec![
+                arm(Some(("Nil", 0)), &[], int(2)),
+                arm(Some(("Cons", 1)), &["h", "_"], var("h")),
+            ],
+        );
+        let p = prog(vec![(
+            "main",
+            C::Case(
+                Box::new(C::Lit(Literal::Bool(true))),
+                vec![
+                    arm(Some(("False", 1)), &[], int(0)),
+                    arm(Some(("True", 0)), &[], inner),
+                ],
+            ),
+        )]);
+        assert_eq!(run_entry(&p, "main", Budget::default()).unwrap(), "1");
+    }
+
+    #[test]
+    fn exhausted_alternatives_are_match_failure() {
+        let p = prog(vec![(
+            "main",
+            C::Case(
+                Box::new(con("Green", 1, 0)),
+                vec![arm(Some(("Red", 0)), &[], int(1))],
+            ),
+        )]);
+        let err = run_entry(&p, "main", Budget::default()).unwrap_err();
+        assert_eq!(err, EvalError::MatchFailure);
+        assert_eq!(err.code(), "match-failure");
+        assert_eq!(err.to_string(), "no case alternative matched");
+    }
+
+    #[test]
+    fn partial_constructor_application_is_a_function_value() {
+        // half = MkPair 1; main = case half 2 of { MkPair a b -> b }
+        let p = prog(vec![
+            ("half", C::app(con("MkPair", 0, 2), int(1))),
+            (
+                "main",
+                C::Case(
+                    Box::new(C::app(var("half"), int(2))),
+                    vec![arm(Some(("MkPair", 0)), &["_", "b"], var("b"))],
+                ),
+            ),
+        ]);
+        assert_eq!(run_entry(&p, "main", Budget::default()).unwrap(), "2");
+        // Showing the unsaturated constructor renders opaquely.
+        let p2 = prog(vec![("main", C::app(con("MkPair", 0, 2), int(1)))]);
+        assert_eq!(
+            run_entry(&p2, "main", Budget::default()).unwrap(),
+            "<function>"
+        );
+    }
+
+    #[test]
+    fn saturated_constructors_render_with_fields() {
+        // main = Cons (MkPair 1 Leaf) Nil   -- rendered inside a list
+        let pair = C::apps(con("MkPair", 0, 2), vec![int(1), con("Leaf", 0, 0)]);
+        let p = prog(vec![("main", C::apps(var("cons"), vec![pair, var("nil")]))]);
+        assert_eq!(
+            run_entry(&p, "main", Budget::default()).unwrap(),
+            "[(MkPair 1 Leaf)]"
+        );
+    }
+
+    #[test]
+    fn constructor_fields_are_lazy() {
+        // case MkBox (error) of { MkBox _ -> 42 } — field never forced
+        let p = prog(vec![(
+            "main",
+            C::Case(
+                Box::new(C::app(con("MkBox", 0, 1), var("error"))),
+                vec![arm(Some(("MkBox", 0)), &["_"], int(42))],
+            ),
+        )]);
+        assert_eq!(run_entry(&p, "main", Budget::default()).unwrap(), "42");
+    }
+
+    #[test]
+    fn applying_saturated_constructor_is_not_a_function() {
+        let p = prog(vec![("main", C::app(con("Leaf", 0, 0), int(1)))]);
+        assert_eq!(
+            run_entry(&p, "main", Budget::default()).unwrap_err(),
+            EvalError::NotAFunction
+        );
     }
 
     #[test]

@@ -26,7 +26,13 @@ pub(crate) fn check(input: &LintInput<'_>, em: &mut Emitter<'_>) {
         let mut ctx = LowerCtx::new();
         let mut gen = VarGen::new();
         let mut scratch = Diagnostics::new();
-        let q = lower_qual_type(&sig.qual_ty, &mut ctx, &mut gen, &mut scratch);
+        let q = lower_qual_type(
+            &sig.qual_ty,
+            &mut ctx,
+            &mut gen,
+            &mut scratch,
+            &input.cenv.datas,
+        );
         let body_vars = q.head.free_vars();
         for (i, p) in q.preds.iter().enumerate() {
             if p.free_vars().is_subset(&body_vars) {

@@ -116,6 +116,40 @@ impl<'a> Walker<'a, '_, '_> {
                     }
                 }
             }
+            Expr::Case(scrut, arms, _) => {
+                self.walk(scrut);
+                for arm in arms {
+                    let before = self.scope.len();
+                    let binders: Vec<(&'a str, Span)> = match &arm.pattern {
+                        tc_syntax::Pattern::Var(n, sp) => vec![(n.as_str(), *sp)],
+                        tc_syntax::Pattern::Con { binders, .. } => {
+                            binders.iter().map(|(b, sp)| (b.as_str(), *sp)).collect()
+                        }
+                    };
+                    for (b, sp) in &binders {
+                        if *b == "_" {
+                            continue;
+                        }
+                        self.check_shadow(b, *sp, "pattern binder");
+                        if self.em.enabled(Rule::UnusedBinding)
+                            && !b.starts_with('_')
+                            && !uses(&arm.body, b)
+                        {
+                            self.em.report(
+                                Rule::UnusedBinding,
+                                *sp,
+                                format!(
+                                    "pattern binder `{b}` is never used \
+                                     (rename it `_{b}` if intentional)"
+                                ),
+                            );
+                        }
+                        self.scope.push((b, *sp));
+                    }
+                    self.walk(&arm.body);
+                    self.scope.truncate(before);
+                }
+            }
         }
     }
 
@@ -175,6 +209,20 @@ fn uses(e: &Expr, name: &str) -> bool {
                     stack.push(body);
                     for b in binds {
                         stack.push(&b.expr);
+                    }
+                }
+            }
+            Expr::Case(scrut, arms, _) => {
+                stack.push(scrut);
+                for arm in arms {
+                    let rebinds = match &arm.pattern {
+                        tc_syntax::Pattern::Var(n, _) => n == name,
+                        tc_syntax::Pattern::Con { binders, .. } => {
+                            binders.iter().any(|(b, _)| b == name)
+                        }
+                    };
+                    if !rebinds {
+                        stack.push(&arm.body);
                     }
                 }
             }

@@ -29,6 +29,7 @@
 mod ambiguous;
 mod bindings;
 mod hoist;
+mod matches;
 mod redundant;
 mod termination;
 mod unreachable;
@@ -59,16 +60,21 @@ pub enum Rule {
     /// `L0005` — a binding that shadows an enclosing local or a
     /// top-level definition.
     ShadowedBinding,
-    /// `L0006` — an `if` arm that can never run: constant condition,
-    /// or a condition already decided by an enclosing test.
+    /// `L0006` — an `if` or `case` arm that can never run: constant
+    /// condition, a condition already decided by an enclosing test, or
+    /// a pattern a preceding arm already covers.
     UnreachableArm,
     /// `L0007` — an identical instance-dictionary application built
     /// more than once in one binding; hoistable into a shared binding.
     RepeatedDictionary,
+    /// `L0012` — a `case` with no default arm that does not cover
+    /// every constructor of the scrutinee's data type; the uncovered
+    /// values fail at runtime with `match-failure`.
+    NonExhaustiveMatch,
 }
 
 impl Rule {
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 8] = [
         Rule::InstanceTermination,
         Rule::RedundantConstraint,
         Rule::AmbiguousTypeVar,
@@ -76,6 +82,7 @@ impl Rule {
         Rule::ShadowedBinding,
         Rule::UnreachableArm,
         Rule::RepeatedDictionary,
+        Rule::NonExhaustiveMatch,
     ];
 
     /// Stable machine-readable code, in the `L` namespace so lint
@@ -89,6 +96,7 @@ impl Rule {
             Rule::ShadowedBinding => "L0005",
             Rule::UnreachableArm => "L0006",
             Rule::RepeatedDictionary => "L0007",
+            Rule::NonExhaustiveMatch => "L0012",
         }
     }
 
@@ -102,6 +110,7 @@ impl Rule {
             Rule::ShadowedBinding => "shadowed-binding",
             Rule::UnreachableArm => "unreachable-arm",
             Rule::RepeatedDictionary => "repeated-dictionary",
+            Rule::NonExhaustiveMatch => "non-exhaustive-match",
         }
     }
 
@@ -126,12 +135,18 @@ impl Rule {
                 "a binding shadows an enclosing local or a top-level definition"
             }
             Rule::UnreachableArm => {
-                "an `if` arm can never run: constant condition, or a condition \
-                 already decided by an enclosing test"
+                "an `if` or `case` arm can never run: constant condition, a \
+                 condition already decided by an enclosing test, or a pattern \
+                 a preceding arm already covers"
             }
             Rule::RepeatedDictionary => {
                 "an identical instance dictionary is built more than once in \
                  one binding; hoistable into a shared binding"
+            }
+            Rule::NonExhaustiveMatch => {
+                "a `case` with no default arm does not cover every constructor \
+                 of the scrutinee's data type; uncovered values fail at \
+                 runtime with `match-failure`"
             }
         }
     }
@@ -231,6 +246,7 @@ pub fn run_lints(input: &LintInput<'_>, config: &LintConfig) -> Diagnostics {
     ambiguous::check(input, &mut em);
     bindings::check(input, &mut em);
     unreachable::check(input, &mut em);
+    matches::check(input, &mut em);
     hoist::check(input, &mut em);
     em.diags
 }

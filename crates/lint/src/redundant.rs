@@ -20,7 +20,7 @@ pub(crate) fn check(input: &LintInput<'_>, em: &mut Emitter<'_>) {
         return;
     }
     for sig in &input.program.sigs {
-        let preds = lowered_sig_context(sig);
+        let preds = lowered_sig_context(sig, input.cenv);
         check_context(
             &preds,
             0,
@@ -67,11 +67,11 @@ pub(crate) fn check(input: &LintInput<'_>, em: &mut Emitter<'_>) {
 /// predicate structure (shared variable scope between constraints), and
 /// any lowering diagnostics here are duplicates of ones inference
 /// already reported, so they are discarded.
-fn lowered_sig_context(sig: &tc_syntax::SigDecl) -> Vec<Pred> {
+fn lowered_sig_context(sig: &tc_syntax::SigDecl, cenv: &ClassEnv) -> Vec<Pred> {
     let mut ctx = LowerCtx::new();
     let mut gen = VarGen::new();
     let mut scratch = Diagnostics::new();
-    lower_qual_type(&sig.qual_ty, &mut ctx, &mut gen, &mut scratch).preds
+    lower_qual_type(&sig.qual_ty, &mut ctx, &mut gen, &mut scratch, &cenv.datas).preds
 }
 
 /// Report duplicates and superclass-implied constraints within one

@@ -1,14 +1,15 @@
 //! Abstract syntax for Mini-Haskell.
 //!
 //! The surface language is a small Haskell subset sufficient for the
-//! programs in Peterson & Jones (PLDI 1993): class declarations with
-//! superclasses, instance declarations with contexts, top-level
-//! (mutually recursive) bindings with optional type signatures, and an
-//! expression language of lambdas, application, `let`, `if`, integer
-//! and boolean literals. Lists are built from the prelude primitives
-//! `nil` / `cons` / `null` / `head` / `tail` rather than pattern
-//! matching, which keeps the front end small without losing the paper's
-//! examples.
+//! programs in Peterson & Jones (PLDI 1993): `data` declarations (sums
+//! and products, parameterized) with `deriving (Eq, Ord)`, class
+//! declarations with superclasses, instance declarations with
+//! contexts, top-level (mutually recursive) bindings with optional
+//! type signatures, and an expression language of lambdas,
+//! application, `let`, `if`, `case` over flat patterns, integer and
+//! boolean literals. Lists are built from the prelude primitives
+//! `nil` / `cons` / `null` / `head` / `tail`, and `case` can match
+//! them through the builtin `Nil` / `Cons` constructor patterns.
 
 use crate::span::Span;
 use std::fmt;
@@ -64,6 +65,69 @@ pub struct QualTypeExpr {
     pub span: Span,
 }
 
+/// One constructor alternative of a `data` declaration:
+/// `Leaf` or `Node a (Tree a) (Tree a)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConDecl {
+    pub name: String,
+    /// Field types, in declaration order.
+    pub fields: Vec<TypeExpr>,
+    pub span: Span,
+}
+
+/// `data T a b = C1 t ... | C2 ... deriving (Eq, Ord);`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataDecl {
+    pub name: String,
+    /// Type parameters (`a`, `b`, ...).
+    pub params: Vec<String>,
+    /// Constructor alternatives; the declaration index is the
+    /// constructor's tag (used for derived `Ord` ordering).
+    pub constructors: Vec<ConDecl>,
+    /// Classes named in the `deriving (...)` clause, with the span of
+    /// each class name.
+    pub deriving: Vec<(String, Span)>,
+    pub span: Span,
+}
+
+/// A (flat) pattern in a `case` alternative. Nested patterns are not
+/// part of the surface language: a constructor pattern binds plain
+/// variables (or `_`) only.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pattern {
+    /// `C x y` — constructor pattern with variable binders. A binder
+    /// named `_` is a wildcard and binds nothing.
+    Con {
+        name: String,
+        binders: Vec<(String, Span)>,
+        span: Span,
+    },
+    /// `x` — irrefutable variable pattern (`_` is a wildcard).
+    Var(String, Span),
+}
+
+impl Pattern {
+    pub fn span(&self) -> Span {
+        match self {
+            Pattern::Con { span, .. } => *span,
+            Pattern::Var(_, s) => *s,
+        }
+    }
+
+    /// Is this an irrefutable (variable or wildcard) pattern?
+    pub fn is_irrefutable(&self) -> bool {
+        matches!(self, Pattern::Var(..))
+    }
+}
+
+/// One `pattern -> expr` alternative of a `case` expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseArm {
+    pub pattern: Pattern,
+    pub body: Expr,
+    pub span: Span,
+}
+
 /// Expressions.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
@@ -81,6 +145,8 @@ pub enum Expr {
     Let(Vec<Binding>, Box<Expr>, Span),
     /// `if c then t else e`.
     If(Box<Expr>, Box<Expr>, Box<Expr>, Span),
+    /// `case e of { pat -> e; ... }`.
+    Case(Box<Expr>, Vec<CaseArm>, Span),
     /// Placeholder produced by parser recovery. Type checks as a fresh
     /// variable so one syntax error does not cascade into dozens of
     /// bogus type errors; evaluation of it is an error.
@@ -97,6 +163,7 @@ impl Expr {
             | Expr::Lam(_, _, s)
             | Expr::Let(_, _, s)
             | Expr::If(_, _, _, s)
+            | Expr::Case(_, _, s)
             | Expr::Hole(s) => *s,
         }
     }
@@ -149,6 +216,7 @@ pub struct SigDecl {
 /// A whole source file.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Program {
+    pub datas: Vec<DataDecl>,
     pub classes: Vec<ClassDecl>,
     pub instances: Vec<InstanceDecl>,
     pub sigs: Vec<SigDecl>,
@@ -157,7 +225,8 @@ pub struct Program {
 
 impl Program {
     pub fn is_empty(&self) -> bool {
-        self.classes.is_empty()
+        self.datas.is_empty()
+            && self.classes.is_empty()
             && self.instances.is_empty()
             && self.sigs.is_empty()
             && self.bindings.is_empty()
@@ -166,6 +235,7 @@ impl Program {
     /// Append another program (used to splice the prelude in front of
     /// user code).
     pub fn extend(&mut self, other: Program) {
+        self.datas.extend(other.datas);
         self.classes.extend(other.classes);
         self.instances.extend(other.instances);
         self.sigs.extend(other.sigs);

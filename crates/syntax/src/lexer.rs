@@ -83,6 +83,7 @@ impl<'s> Lexer<'s> {
             b'=' => self.simple(TokenKind::Equals, 1),
             b';' => self.simple(TokenKind::Semi, 1),
             b',' => self.simple(TokenKind::Comma, 1),
+            b'|' => self.simple(TokenKind::Pipe, 1),
             b'(' => self.simple(TokenKind::LParen, 1),
             b')' => self.simple(TokenKind::RParen, 1),
             b'{' => self.simple(TokenKind::LBrace, 1),
@@ -181,6 +182,10 @@ impl<'s> Lexer<'s> {
                 "if" => TokenKind::If,
                 "then" => TokenKind::Then,
                 "else" => TokenKind::Else,
+                "data" => TokenKind::Data,
+                "case" => TokenKind::Case,
+                "of" => TokenKind::Of,
+                "deriving" => TokenKind::Deriving,
                 _ => TokenKind::Ident(text.to_string()),
             }
         };
@@ -228,6 +233,7 @@ impl<'s> Lexer<'s> {
                 | b':'
                 | b';'
                 | b','
+                | b'|'
                 | b'('
                 | b')'
                 | b'{'

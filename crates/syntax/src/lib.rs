@@ -20,6 +20,7 @@
 #![deny(clippy::panic)]
 
 pub mod ast;
+pub mod derive;
 pub mod diag;
 pub mod lexer;
 pub mod parser;

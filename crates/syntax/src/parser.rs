@@ -85,8 +85,12 @@ pub fn parse_program_with(
         diags: Diagnostics::new(),
         stats: ParseStats::default(),
     };
-    let prog = p.program();
-    (prog, p.diags, p.stats)
+    let mut prog = p.program();
+    let mut diags = p.diags;
+    // Desugar `deriving` clauses into ordinary instances here so every
+    // consumer of the parsed program sees them without extra plumbing.
+    crate::derive::derive_instances(&mut prog, &mut diags);
+    (prog, diags, p.stats)
 }
 
 impl<'t> Parser<'t> {
@@ -221,7 +225,7 @@ impl<'t> Parser<'t> {
         self.stats.recoveries = self.stats.recoveries.saturating_add(1);
         loop {
             match self.peek() {
-                TokenKind::Eof | TokenKind::Class | TokenKind::Instance => return,
+                TokenKind::Eof | TokenKind::Class | TokenKind::Instance | TokenKind::Data => return,
                 TokenKind::Semi => {
                     self.bump();
                     return;
@@ -286,6 +290,10 @@ impl<'t> Parser<'t> {
                 },
                 TokenKind::Instance => match self.instance_decl() {
                     Ok(i) => prog.instances.push(i),
+                    Err(Broken) => self.sync_topdecl(),
+                },
+                TokenKind::Data => match self.data_decl() {
+                    Ok(d) => prog.datas.push(d),
                     Err(Broken) => self.sync_topdecl(),
                 },
                 TokenKind::Ident(_) => match self.sig_or_binding() {
@@ -398,6 +406,74 @@ impl<'t> Parser<'t> {
             methods,
             span: start.merge(end),
         })
+    }
+
+    /// `data T a b = C1 t ... | C2 ... [deriving (Eq, Ord)] ;`
+    fn data_decl(&mut self) -> PResult<DataDecl> {
+        let start = self.span();
+        self.expect(TokenKind::Data, "to start a data declaration")?;
+        let (name, _) = self.expect_upper("as the data type name")?;
+        let mut params = Vec::new();
+        while let TokenKind::Ident(p) = self.peek().clone() {
+            self.bump();
+            params.push(p);
+        }
+        self.expect(TokenKind::Equals, "after the data type head")?;
+        let mut constructors = vec![self.con_decl()?];
+        while self.eat(&TokenKind::Pipe) {
+            constructors.push(self.con_decl()?);
+        }
+        let deriving = if self.eat(&TokenKind::Deriving) {
+            self.deriving_clause()?
+        } else {
+            Vec::new()
+        };
+        let end = self.span();
+        if !self.eat(&TokenKind::Semi) && !self.at(&TokenKind::Eof) {
+            let _ = self.err_here("E0205", "expected `;` after a data declaration".to_string());
+            self.sync_topdecl();
+        }
+        Ok(DataDecl {
+            name,
+            params,
+            constructors,
+            deriving,
+            span: start.merge(end),
+        })
+    }
+
+    /// One constructor alternative: `Node a (Tree a) (Tree a)`.
+    fn con_decl(&mut self) -> PResult<ConDecl> {
+        let (name, nspan) = self.expect_upper("as a data constructor name")?;
+        let mut fields = Vec::new();
+        let mut span = nspan;
+        while self.type_atom_ahead() {
+            let f = self.atype()?;
+            span = span.merge(f.span());
+            fields.push(f);
+        }
+        Ok(ConDecl { name, fields, span })
+    }
+
+    /// `deriving (Eq, Ord)` or `deriving Eq` (the keyword is consumed).
+    fn deriving_clause(&mut self) -> PResult<Vec<(String, Span)>> {
+        if self.eat(&TokenKind::LParen) {
+            let mut classes = Vec::new();
+            if !self.at(&TokenKind::RParen) {
+                loop {
+                    classes.push(self.expect_upper("as a class name in `deriving`")?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(TokenKind::RParen, "to close the deriving clause")?;
+            Ok(classes)
+        } else {
+            Ok(vec![
+                self.expect_upper("as the class name after `deriving`")?
+            ])
+        }
     }
 
     fn sig_or_binding(&mut self) -> PResult<SigOrBinding> {
@@ -642,8 +718,90 @@ impl<'t> Parser<'t> {
                 let span = start.merge(e.span());
                 Ok(Expr::If(Box::new(c), Box::new(t), Box::new(e), span))
             }
+            TokenKind::Case => {
+                let start = p.span();
+                p.bump();
+                let scrut = p.expr()?;
+                p.expect(TokenKind::Of, "after the case scrutinee")?;
+                p.expect(TokenKind::LBrace, "to open the case alternatives")?;
+                let mut arms = Vec::new();
+                while !p.at(&TokenKind::RBrace) && !p.at(&TokenKind::Eof) {
+                    match p.case_arm() {
+                        Ok(a) => {
+                            arms.push(a);
+                            if !p.eat(&TokenKind::Semi) && !p.at(&TokenKind::RBrace) {
+                                let _ = p.err_here(
+                                    "E0205",
+                                    "expected `;` or `}` after a case alternative".to_string(),
+                                );
+                                p.sync_in_braces();
+                            }
+                        }
+                        Err(Broken) => p.sync_in_braces(),
+                    }
+                }
+                let end = p.span();
+                p.expect(TokenKind::RBrace, "to close the case alternatives")?;
+                let span = start.merge(end);
+                if arms.is_empty() {
+                    p.diags.error(
+                        Stage::Parser,
+                        "E0210",
+                        "a `case` expression needs at least one alternative",
+                        span,
+                    );
+                    return Err(Broken);
+                }
+                Ok(Expr::Case(Box::new(scrut), arms, span))
+            }
             _ => p.app_expr(),
         })
+    }
+
+    /// `pattern -> expr`.
+    fn case_arm(&mut self) -> PResult<CaseArm> {
+        let pat = self.pattern()?;
+        self.expect(TokenKind::Arrow, "after the case pattern")?;
+        let body = self.expr()?;
+        let span = pat.span().merge(body.span());
+        Ok(CaseArm {
+            pattern: pat,
+            body,
+            span,
+        })
+    }
+
+    /// A flat pattern: `C x y`, a variable, or `_`. Nested patterns are
+    /// not in the grammar; constructor arguments must be plain binders.
+    fn pattern(&mut self) -> PResult<Pattern> {
+        match self.peek().clone() {
+            TokenKind::UpperIdent(name) => {
+                let t = self.bump();
+                let mut span = t.span;
+                let mut binders = Vec::new();
+                while let TokenKind::Ident(b) = self.peek().clone() {
+                    let bt = self.bump();
+                    span = span.merge(bt.span);
+                    binders.push((b, bt.span));
+                }
+                Ok(Pattern::Con {
+                    name,
+                    binders,
+                    span,
+                })
+            }
+            TokenKind::Ident(n) => {
+                let t = self.bump();
+                Ok(Pattern::Var(n, t.span))
+            }
+            other => Err(self.err_here(
+                "E0211",
+                format!(
+                    "expected a pattern (a constructor or a variable), found {}",
+                    other.describe()
+                ),
+            )),
+        }
     }
 
     fn app_expr(&mut self) -> PResult<Expr> {
@@ -811,6 +969,147 @@ mod tests {
     fn truncated_input_terminates() {
         let (_, diags) = parse_lossy("class Eq a where { eq ::");
         assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn data_decl_with_deriving() {
+        let (prog, diags) =
+            parse("data Tree a = Leaf | Node a (Tree a) (Tree a) deriving (Eq, Ord);");
+        assert!(!diags.has_errors(), "{:?}", diags.into_vec());
+        assert_eq!(prog.datas.len(), 1);
+        let d = &prog.datas[0];
+        assert_eq!(d.name, "Tree");
+        assert_eq!(d.params, vec!["a".to_string()]);
+        assert_eq!(d.constructors.len(), 2);
+        assert_eq!(d.constructors[0].name, "Leaf");
+        assert_eq!(d.constructors[0].fields.len(), 0);
+        assert_eq!(d.constructors[1].fields.len(), 3);
+        // deriving desugared into two instances: Eq then Ord.
+        assert_eq!(prog.instances.len(), 2);
+        assert_eq!(prog.instances[0].class, "Eq");
+        assert_eq!(prog.instances[1].class, "Ord");
+        assert_eq!(prog.instances[0].context.len(), 1);
+        let names: Vec<_> = prog.instances[0]
+            .methods
+            .iter()
+            .map(|m| m.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["eq", "neq"]);
+        let names: Vec<_> = prog.instances[1]
+            .methods
+            .iter()
+            .map(|m| m.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["lte", "lt"]);
+    }
+
+    #[test]
+    fn deriving_single_class_without_parens() {
+        let (prog, diags) = parse("data Color = Red | Green | Blue deriving Eq;");
+        assert!(!diags.has_errors(), "{:?}", diags.into_vec());
+        assert_eq!(prog.instances.len(), 1);
+        assert_eq!(prog.instances[0].class, "Eq");
+        assert!(prog.instances[0].context.is_empty());
+    }
+
+    #[test]
+    fn deriving_unknown_class_is_e0212() {
+        let (prog, diags) = parse_lossy("data T = MkT deriving (Show);");
+        assert!(
+            diags.iter().any(|d| d.code == "E0212"),
+            "{:?}",
+            diags.into_vec()
+        );
+        assert!(prog.instances.is_empty());
+    }
+
+    #[test]
+    fn deriving_repeated_class_is_e0212() {
+        let (prog, diags) = parse_lossy("data T = MkT deriving (Eq, Eq);");
+        assert!(diags.iter().any(|d| d.code == "E0212"));
+        assert_eq!(prog.instances.len(), 1, "only one Eq instance generated");
+    }
+
+    #[test]
+    #[allow(clippy::panic)]
+    fn case_expression_parses() {
+        let (prog, diags) = parse(
+            "data Maybe a = Nothing | Just a;\n\
+             fromMaybe d m = case m of { Nothing -> d; Just x -> x };",
+        );
+        assert!(!diags.has_errors(), "{:?}", diags.into_vec());
+        let body = &prog.bindings[0].expr;
+        // d and m desugar to lambdas around the case.
+        let mut e = body;
+        while let Expr::Lam(_, inner, _) = e {
+            e = inner;
+        }
+        match e {
+            Expr::Case(_, arms, _) => {
+                assert_eq!(arms.len(), 2);
+                assert!(
+                    matches!(&arms[0].pattern, Pattern::Con { name, binders, .. }
+                    if name == "Nothing" && binders.is_empty())
+                );
+                assert!(
+                    matches!(&arms[1].pattern, Pattern::Con { name, binders, .. }
+                    if name == "Just" && binders.len() == 1)
+                );
+            }
+            other => panic!("expected case, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[allow(clippy::panic)]
+    fn case_wildcard_and_var_patterns() {
+        let (prog, diags) = parse("f x = case x of { True -> 1; _ -> 0 };");
+        assert!(!diags.has_errors(), "{:?}", diags.into_vec());
+        let mut e = &prog.bindings[0].expr;
+        while let Expr::Lam(_, inner, _) = e {
+            e = inner;
+        }
+        match e {
+            Expr::Case(_, arms, _) => {
+                assert!(arms[1].pattern.is_irrefutable());
+                assert!(matches!(&arms[1].pattern, Pattern::Var(n, _) if n == "_"));
+            }
+            other => panic!("expected case, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_case_is_e0210() {
+        let (_, diags) = parse_lossy("f x = case x of { };");
+        assert!(
+            diags.iter().any(|d| d.code == "E0210"),
+            "{:?}",
+            diags.into_vec()
+        );
+    }
+
+    #[test]
+    fn bad_pattern_is_e0211() {
+        let (_, diags) = parse_lossy("f x = case x of { 1 -> 2 };");
+        assert!(
+            diags.iter().any(|d| d.code == "E0211"),
+            "{:?}",
+            diags.into_vec()
+        );
+    }
+
+    #[test]
+    fn broken_case_arm_recovers() {
+        let (prog, diags) = parse_lossy("f x = case x of { True -> ; False -> 0 };\ng = 1;");
+        assert!(diags.has_errors());
+        assert!(prog.bindings.iter().any(|b| b.name == "g"));
+    }
+
+    #[test]
+    fn broken_data_decl_recovers() {
+        let (prog, diags) = parse_lossy("data = Oops;\ngood = 42;");
+        assert!(diags.has_errors());
+        assert!(prog.bindings.iter().any(|b| b.name == "good"));
     }
 
     #[test]

@@ -21,6 +21,10 @@ pub enum TokenKind {
     If,
     Then,
     Else,
+    Data,
+    Case,
+    Of,
+    Deriving,
 
     // Punctuation / operators.
     Backslash,
@@ -30,6 +34,7 @@ pub enum TokenKind {
     Equals,
     Semi,
     Comma,
+    Pipe, // |
     LParen,
     RParen,
     LBrace,
@@ -59,6 +64,10 @@ impl TokenKind {
             TokenKind::If => "`if`".into(),
             TokenKind::Then => "`then`".into(),
             TokenKind::Else => "`else`".into(),
+            TokenKind::Data => "`data`".into(),
+            TokenKind::Case => "`case`".into(),
+            TokenKind::Of => "`of`".into(),
+            TokenKind::Deriving => "`deriving`".into(),
             TokenKind::Backslash => "`\\`".into(),
             TokenKind::Arrow => "`->`".into(),
             TokenKind::FatArrow => "`=>`".into(),
@@ -66,6 +75,7 @@ impl TokenKind {
             TokenKind::Equals => "`=`".into(),
             TokenKind::Semi => "`;`".into(),
             TokenKind::Comma => "`,`".into(),
+            TokenKind::Pipe => "`|`".into(),
             TokenKind::LParen => "`(`".into(),
             TokenKind::RParen => "`)`".into(),
             TokenKind::LBrace => "`{`".into(),

@@ -244,6 +244,48 @@ fn looks_like_code(s: &str) -> bool {
 /// [`Rule::description`].
 const ERROR_CODES: &[(&str, &str, &str)] = &[
     (
+        "E0210",
+        "empty-case",
+        "a `case` expression has no alternatives; at least one `pattern -> \
+         expression` arm is required",
+    ),
+    (
+        "E0211",
+        "bad-pattern",
+        "a `case` pattern is malformed: patterns are a constructor applied \
+         to variable binders (`Cons x xs`), a variable, or `_`",
+    ),
+    (
+        "E0212",
+        "bad-deriving",
+        "a `deriving` clause is malformed or names an underivable class; \
+         only `Eq` and `Ord` can be derived",
+    ),
+    (
+        "E0317",
+        "duplicate-data-type",
+        "a `data` declaration redefines an existing data type (or a builtin \
+         like `Bool`/`List`), or repeats a type parameter",
+    ),
+    (
+        "E0318",
+        "duplicate-constructor",
+        "a data constructor name is already defined by an earlier `data` \
+         declaration; constructor names share one global namespace",
+    ),
+    (
+        "E0319",
+        "unbound-type-variable",
+        "a constructor field mentions a type variable that is not a \
+         parameter of its `data` declaration",
+    ),
+    (
+        "E0416",
+        "pattern-arity",
+        "a constructor pattern binds the wrong number of fields for its \
+         constructor",
+    ),
+    (
         "E0420",
         "resolution-cycle",
         "instance resolution entered a cycle: a goal recurred as its own \

@@ -329,3 +329,70 @@ fn every_prefix_of_a_good_program_is_handled_structurally() {
         "expected to sweep every prefix, got {checked}"
     );
 }
+
+#[test]
+fn every_prefix_of_a_data_program_is_handled_structurally() {
+    // The chop test over the data-type surface: `data` declarations
+    // with parameters and `deriving`, constructor applications, and
+    // `case` with constructor, wildcard-binder, and default arms.
+    // Every byte-boundary truncation must compile clean or report
+    // structured diagnostics — never panic, never hang.
+    let src = "data Color = Red | Green | Blue deriving (Eq, Ord);\n\
+               data Pair a b = MkPair a b deriving (Eq);\n\
+               data Nat = Z | S Nat deriving (Eq, Ord);\n\
+               classify c = case c of { Red -> 0; Green -> 1; _ -> 2 };\n\
+               fstOf p = case p of { MkPair x _ -> x };\n\
+               toInt n = case n of { Z -> 0; S m -> add 1 (toInt m) };\n\
+               main = and (eq (MkPair Red (S Z)) (MkPair Red (S Z)))\n\
+                          (lte (classify Green) (toInt (S (S Z))));\n";
+    let (tx, rx) = mpsc::channel();
+    let owned = src.to_string();
+    thread::spawn(move || {
+        let mut checked = 0u32;
+        for end in 0..=owned.len() {
+            if !owned.is_char_boundary(end) {
+                continue;
+            }
+            let prefix = &owned[..end];
+            let c = typeclasses::check_source(prefix, &Options::default());
+            if !c.ok() {
+                assert!(
+                    c.diags.error_count() > 0,
+                    "not ok but no errors at prefix {end}"
+                );
+            }
+            let rendered = c.render_diagnostics();
+            assert!(
+                c.ok() || !rendered.is_empty(),
+                "unrenderable diagnostics at prefix {end}"
+            );
+            checked += 1;
+        }
+        let _ = tx.send(checked);
+    });
+    let checked = rx
+        .recv_timeout(WALL_CLOCK)
+        .expect("data chop sweep exceeded the wall-clock bound or panicked");
+    assert!(
+        checked > 100,
+        "expected to sweep every prefix, got {checked}"
+    );
+    // The untruncated program itself runs to a value.
+    let out = bounded(src);
+    assert!(
+        matches!(out, Outcome::Value(ref v) if v == "True"),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn runtime_match_failure_is_structured() {
+    // The lint warns about the missing arm, but warnings don't stop
+    // evaluation: the uncovered constructor becomes a structured
+    // match-failure, never a panic.
+    let out = bounded("data T = A | B;\nf x = case x of { A -> 1 };\nmain = f B;");
+    assert!(
+        matches!(out, Outcome::Eval(EvalError::MatchFailure)),
+        "{out:?}"
+    );
+}

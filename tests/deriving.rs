@@ -1,0 +1,526 @@
+//! Generative suite over the `data`/`deriving` scenario space.
+//!
+//! A seeded xorshift generator emits random data-declaration sets —
+//! sums, products, recursive types, cross-type references — each with
+//! `deriving (Eq, Ord)`. Two properties are pinned over that space:
+//!
+//! * **Laws**: every derived instance passes the tc-coherence class-law
+//!   harness (`check_laws`) with `law-violation` promoted to deny, for
+//!   200 seeds. Reflexivity/symmetry/transitivity of `eq` and
+//!   totality/antisymmetry of `lte` are checked against enumerated
+//!   constructor samples; a failure's diagnostic cites the sample.
+//! * **Differential**: for each scenario, a handwritten twin program —
+//!   instances spelled out by hand, structurally mirroring what
+//!   `deriving` generates — must produce byte-identical evaluation
+//!   results and identical dictionary-construction counts under all
+//!   four memo/share optimization modes.
+//!
+//! Everything is deterministic: the only randomness is the xorshift
+//! stream, seeded by the loop index.
+
+use typeclasses::{check_source, coherence, run_source, LintLevel, Options, Outcome};
+
+// ---------------------------------------------------------------------
+// Deterministic PRNG (xorshift64*) — no clocks, no global state.
+// ---------------------------------------------------------------------
+
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        // Spread the small loop-index seeds; keep the state nonzero.
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scenario generation.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq)]
+enum FieldTy {
+    Int,
+    Bool,
+    /// A previously declared type (index into the scenario).
+    Data(usize),
+    /// The type being declared — a recursive field.
+    SelfRec,
+}
+
+struct GenCon {
+    name: String,
+    fields: Vec<FieldTy>,
+}
+
+struct GenData {
+    name: String,
+    cons: Vec<GenCon>,
+}
+
+type Scenario = Vec<GenData>;
+
+/// 1–3 data types, each 1–4 constructors of 0–2 fields. Constructor 0
+/// of every type is non-recursive (fields draw from `Int`, `Bool`, and
+/// earlier types only) so every type has a constructible base case and
+/// the law harness always finds samples.
+fn gen_scenario(seed: u64) -> Scenario {
+    let mut rng = Rng::new(seed);
+    let ntypes = 1 + rng.below(3);
+    let mut scn: Scenario = Vec::new();
+    for i in 0..ntypes {
+        let ncons = 1 + rng.below(4);
+        let mut cons = Vec::new();
+        for j in 0..ncons {
+            let nfields = rng.below(3);
+            let mut fields = Vec::new();
+            for _ in 0..nfields {
+                let mut choices = vec![FieldTy::Int, FieldTy::Bool];
+                if i > 0 {
+                    choices.push(FieldTy::Data(rng.below(i)));
+                }
+                if j > 0 {
+                    choices.push(FieldTy::SelfRec);
+                }
+                fields.push(choices[rng.below(choices.len())]);
+            }
+            cons.push(GenCon {
+                name: format!("K{i}{}", (b'A' + j as u8) as char),
+                fields,
+            });
+        }
+        scn.push(GenData {
+            name: format!("D{i}"),
+            cons,
+        });
+    }
+    scn
+}
+
+fn field_text(scn: &Scenario, owner: usize, f: FieldTy) -> String {
+    match f {
+        FieldTy::Int => "Int".into(),
+        FieldTy::Bool => "Bool".into(),
+        FieldTy::Data(k) => scn[k].name.clone(),
+        FieldTy::SelfRec => scn[owner].name.clone(),
+    }
+}
+
+/// The `data` declarations, with or without the deriving clause.
+fn render_datas(scn: &Scenario, derive: bool) -> String {
+    let mut out = String::new();
+    for (i, d) in scn.iter().enumerate() {
+        let cons = d
+            .cons
+            .iter()
+            .map(|c| {
+                let mut t = c.name.clone();
+                for &f in &c.fields {
+                    t.push(' ');
+                    t.push_str(&field_text(scn, i, f));
+                }
+                t
+            })
+            .collect::<Vec<_>>()
+            .join(" | ");
+        out.push_str(&format!("data {} = {cons}", d.name));
+        if derive {
+            out.push_str(" deriving (Eq, Ord)");
+        }
+        out.push_str(";\n");
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Handwritten twin instances, structurally mirroring tc-syntax's
+// derive pass (same case nesting, same field-comparison chains) so
+// dictionary-construction counts line up exactly.
+// ---------------------------------------------------------------------
+
+fn pat(name: &str, prefix: &str, n: usize) -> String {
+    let mut p = name.to_string();
+    for k in 0..n {
+        p.push_str(&format!(" {prefix}{k}"));
+    }
+    p
+}
+
+fn pat_wild(name: &str, n: usize) -> String {
+    let mut p = name.to_string();
+    for _ in 0..n {
+        p.push_str(" _");
+    }
+    p
+}
+
+/// `if eq f0 g0 then (...) else False`, last field bare.
+fn eq_chain(n: usize) -> String {
+    if n == 0 {
+        return "True".into();
+    }
+    let mut acc = format!("eq f{0} g{0}", n - 1);
+    for i in (0..n - 1).rev() {
+        acc = format!("if eq f{i} g{i} then ({acc}) else False");
+    }
+    acc
+}
+
+/// `if lt f g then True else (if eq f g then (...) else False)`, last
+/// field decided by `lte` (non-strict) or `lt` (strict).
+fn ord_chain(n: usize, strict: bool) -> String {
+    if n == 0 {
+        return if strict { "False" } else { "True" }.into();
+    }
+    let m = if strict { "lt" } else { "lte" };
+    let mut acc = format!("{m} f{0} g{0}", n - 1);
+    for k in (0..n - 1).rev() {
+        acc = format!("if lt f{k} g{k} then True else (if eq f{k} g{k} then ({acc}) else False)");
+    }
+    acc
+}
+
+fn hw_eq_instance(d: &GenData) -> String {
+    let outer = d
+        .cons
+        .iter()
+        .map(|c| {
+            let n = c.fields.len();
+            let inner = d
+                .cons
+                .iter()
+                .map(|c2| {
+                    if c2.name == c.name {
+                        format!("{} -> {}", pat(&c2.name, "g", n), eq_chain(n))
+                    } else {
+                        format!("{} -> False", pat_wild(&c2.name, c2.fields.len()))
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("; ");
+            format!("{} -> case r of {{ {inner} }}", pat(&c.name, "f", n))
+        })
+        .collect::<Vec<_>>()
+        .join("; ");
+    format!(
+        "instance Eq {} where {{\n  eq = \\l -> \\r -> case l of {{ {outer} }};\n  \
+         neq = \\l -> \\r -> if eq l r then False else True\n}};\n",
+        d.name
+    )
+}
+
+fn hw_ord_instance(d: &GenData) -> String {
+    let method = |strict: bool| -> String {
+        d.cons
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let n = c.fields.len();
+                let inner = d
+                    .cons
+                    .iter()
+                    .enumerate()
+                    .map(|(j, c2)| {
+                        if j == i {
+                            format!("{} -> {}", pat(&c2.name, "g", n), ord_chain(n, strict))
+                        } else if i < j {
+                            format!("{} -> True", pat_wild(&c2.name, c2.fields.len()))
+                        } else {
+                            format!("{} -> False", pat_wild(&c2.name, c2.fields.len()))
+                        }
+                    })
+                    .collect::<Vec<_>>()
+                    .join("; ");
+                format!("{} -> case r of {{ {inner} }}", pat(&c.name, "f", n))
+            })
+            .collect::<Vec<_>>()
+            .join("; ")
+    };
+    format!(
+        "instance Ord {} where {{\n  lte = \\l -> \\r -> case l of {{ {} }};\n  \
+         lt = \\l -> \\r -> case l of {{ {} }}\n}};\n",
+        d.name,
+        method(false),
+        method(true)
+    )
+}
+
+fn render_handwritten(scn: &Scenario) -> String {
+    let mut out = render_datas(scn, false);
+    for d in scn {
+        out.push_str(&hw_eq_instance(d));
+        out.push_str(&hw_ord_instance(d));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Sample values and a comparison-battery `main`.
+// ---------------------------------------------------------------------
+
+/// Up to three ground values of type `scn[i]`, in constructor (tag)
+/// order, mirroring the law harness's depth-bounded enumeration.
+fn value_samples(scn: &Scenario, i: usize, depth: usize) -> Vec<String> {
+    if depth > 2 {
+        return Vec::new();
+    }
+    let mut out: Vec<String> = Vec::new();
+    for c in &scn[i].cons {
+        if out.len() >= 3 {
+            break;
+        }
+        if c.fields.is_empty() {
+            out.push(c.name.clone());
+            continue;
+        }
+        let per_field: Vec<Vec<String>> = c
+            .fields
+            .iter()
+            .map(|&f| match f {
+                FieldTy::Int => vec!["0".into(), "1".into(), "2".into()],
+                FieldTy::Bool => vec!["True".into(), "False".into()],
+                FieldTy::Data(k) => value_samples(scn, k, depth + 1),
+                FieldTy::SelfRec => value_samples(scn, i, depth + 1),
+            })
+            .collect();
+        if per_field.iter().any(Vec::is_empty) {
+            continue;
+        }
+        for k in 0..2usize {
+            if out.len() >= 3 {
+                break;
+            }
+            let mut t = c.name.clone();
+            for fs in &per_field {
+                t.push(' ');
+                t.push_str(fs.get(k).unwrap_or(&fs[0]));
+            }
+            let t = format!("({t})");
+            if k == 1 && out.last() == Some(&t) {
+                break;
+            }
+            out.push(t);
+        }
+    }
+    out
+}
+
+/// `main` builds a list of every `eq`/`neq`/`lte`/`lt` comparison over
+/// sample pairs of every generated type — a single value whose rendered
+/// form pins all comparison bits at once.
+fn render_main(scn: &Scenario) -> String {
+    let mut terms = Vec::new();
+    for i in 0..scn.len() {
+        let ss = value_samples(scn, i, 0);
+        assert!(!ss.is_empty(), "type {} has no samples", scn[i].name);
+        let a = &ss[0];
+        let b = ss.last().expect("nonempty");
+        for m in ["eq", "neq", "lte", "lt"] {
+            terms.push(format!("{m} {a} {b}"));
+            terms.push(format!("{m} {b} {a}"));
+        }
+    }
+    let list = terms
+        .iter()
+        .rev()
+        .fold("nil".to_string(), |acc, t| format!("cons ({t}) ({acc})"));
+    format!("main = {list};\n")
+}
+
+// ---------------------------------------------------------------------
+// Options.
+// ---------------------------------------------------------------------
+
+fn law_deny_options() -> Options {
+    Options {
+        check_laws: true,
+        coherence_levels: coherence::CoherenceConfig::default()
+            .with(coherence::Rule::LawViolation, LintLevel::Deny),
+        ..Options::default()
+    }
+}
+
+fn all_modes() -> [(&'static str, Options); 4] {
+    [
+        ("memo+share", Options::default()),
+        (
+            "memo",
+            Options {
+                share_dictionaries: false,
+                ..Options::default()
+            },
+        ),
+        (
+            "share",
+            Options {
+                memoize_resolution: false,
+                ..Options::default()
+            },
+        ),
+        ("off", Options::unoptimized()),
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Tests.
+// ---------------------------------------------------------------------
+
+#[test]
+fn generator_covers_the_scenario_space() {
+    // The stream must actually exercise the interesting corners; a
+    // generator that degenerates (all-nullary, never recursive) would
+    // silently weaken every property below.
+    let (mut recursive, mut cross_ref, mut multi_type, mut two_field, mut nullary_only) =
+        (false, false, false, false, false);
+    for seed in 0..200u64 {
+        let scn = gen_scenario(seed);
+        if scn.len() > 1 {
+            multi_type = true;
+        }
+        if scn
+            .iter()
+            .all(|d| d.cons.iter().all(|c| c.fields.is_empty()))
+        {
+            nullary_only = true;
+        }
+        for d in &scn {
+            for c in &d.cons {
+                if c.fields.len() == 2 {
+                    two_field = true;
+                }
+                if c.fields.contains(&FieldTy::SelfRec) {
+                    recursive = true;
+                }
+                if c.fields.iter().any(|f| matches!(f, FieldTy::Data(_))) {
+                    cross_ref = true;
+                }
+            }
+        }
+    }
+    assert!(
+        recursive && cross_ref && multi_type && two_field && nullary_only,
+        "degenerate generator: recursive={recursive} cross_ref={cross_ref} \
+         multi_type={multi_type} two_field={two_field} nullary_only={nullary_only}"
+    );
+}
+
+#[test]
+fn derived_instances_pass_laws_under_deny_for_200_seeds() {
+    let opts = law_deny_options();
+    for seed in 0..200u64 {
+        let src = render_datas(&gen_scenario(seed), true);
+        let c = check_source(&src, &opts);
+        assert!(
+            c.ok(),
+            "seed {seed}: derived instances violate class laws\n{src}\n{}",
+            c.render_diagnostics()
+        );
+    }
+}
+
+#[test]
+fn law_failures_cite_the_violating_constructor_sample() {
+    // Negative control: a deliberately broken handwritten Eq on a
+    // generated type must be caught, and the diagnostic must name the
+    // constructor sample that witnessed the violation.
+    let scn = gen_scenario(0);
+    let first_con = scn[0].cons[0].name.clone();
+    let src = format!(
+        "{}instance Eq {} where {{\n  eq = \\l -> \\r -> False;\n  \
+         neq = \\l -> \\r -> True\n}};\n",
+        render_datas(&scn, false),
+        scn[0].name
+    );
+    let c = check_source(&src, &law_deny_options());
+    assert!(!c.ok(), "constant-False eq passed the law harness");
+    let rendered = c.render_diagnostics();
+    assert!(rendered.contains("L0011"), "{rendered}");
+    assert!(
+        rendered.contains(&first_con),
+        "diagnostic does not cite the sample `{first_con}`:\n{rendered}"
+    );
+}
+
+#[test]
+fn derived_and_handwritten_twins_agree_across_all_modes() {
+    for seed in 0..40u64 {
+        let scn = gen_scenario(seed);
+        let main = render_main(&scn);
+        let derived = format!("{}{main}", render_datas(&scn, true));
+        let handwritten = format!("{}{main}", render_handwritten(&scn));
+
+        let mut reference: Option<String> = None;
+        for (mode, opts) in all_modes() {
+            let dr = run_source(&derived, &opts);
+            let hr = run_source(&handwritten, &opts);
+            let d_out = format!("{:?}", dr.outcome);
+            let h_out = format!("{:?}", hr.outcome);
+            assert!(
+                matches!(dr.outcome, Outcome::Value(_)),
+                "seed {seed} [{mode}]: derived program failed: {d_out}\n{derived}\n{}",
+                dr.check.render_diagnostics()
+            );
+            assert_eq!(
+                d_out, h_out,
+                "seed {seed} [{mode}]: derived vs handwritten results differ\n\
+                 derived:\n{derived}\nhandwritten:\n{handwritten}"
+            );
+            assert_eq!(
+                dr.check.stats.resolve.dicts_constructed, hr.check.stats.resolve.dicts_constructed,
+                "seed {seed} [{mode}]: dictionary-construction counts differ"
+            );
+            assert_eq!(
+                dr.check.stats.share.constructions_before,
+                hr.check.stats.share.constructions_before,
+                "seed {seed} [{mode}]: pre-sharing dictionary sites differ"
+            );
+            assert_eq!(
+                dr.check.stats.share.constructions_after, hr.check.stats.share.constructions_after,
+                "seed {seed} [{mode}]: post-sharing dictionary sites differ"
+            );
+            // Byte-identity across modes, not just within one.
+            match &reference {
+                None => reference = Some(d_out),
+                Some(r) => assert_eq!(
+                    &d_out, r,
+                    "seed {seed} [{mode}]: result differs from the memo+share reference"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn generated_scenarios_run_clean_under_law_checked_evaluation() {
+    // End-to-end: deriving + law harness + evaluation in one pass, the
+    // configuration the CI deriving-gate runs.
+    let opts = Options {
+        check_laws: true,
+        coherence_levels: coherence::CoherenceConfig::default()
+            .with(coherence::Rule::LawViolation, LintLevel::Deny),
+        ..Options::default()
+    };
+    for seed in [0u64, 7, 13, 29, 41] {
+        let scn = gen_scenario(seed);
+        let src = format!("{}{}", render_datas(&scn, true), render_main(&scn));
+        let r = run_source(&src, &opts);
+        assert!(
+            matches!(r.outcome, Outcome::Value(_)),
+            "seed {seed}: {:?}\n{src}\n{}",
+            r.outcome,
+            r.check.render_diagnostics()
+        );
+    }
+}

@@ -78,6 +78,26 @@ fn sumsquares_core_is_stable() {
 }
 
 #[test]
+fn deriving_core_is_stable() {
+    check_golden("deriving");
+}
+
+#[test]
+fn derived_instances_appear_as_dictionary_lets() {
+    // The deriving snapshot must actually show the paper's translation
+    // at work: the derived `Eq`/`Ord` methods become ordinary bindings
+    // referenced from constructed instance dictionaries, which `main`'s
+    // class-method calls consume. (Skipped while blessing.)
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        return;
+    }
+    let core = std::fs::read_to_string("tests/golden/deriving.core.txt").expect("golden");
+    for needle in ["$dict", "Eq$Suit", "Ord$Suit", "Eq$Card", "Ord$Card"] {
+        assert!(core.contains(needle), "missing `{needle}` in:\n{core}");
+    }
+}
+
+#[test]
 fn goldens_reflect_the_sharing_pass() {
     // The snapshots above are of the *optimized* pipeline; make the
     // dependence explicit so nobody re-blesses them with sharing off.

@@ -56,6 +56,7 @@ fn shipped_examples_are_lint_clean_and_run() {
             "385",
         ),
         ("maxlist", include_str!("../examples/maxlist.mh"), "7"),
+        ("deriving", include_str!("../examples/deriving.mh"), "True"),
     ] {
         let r = run_checked(lint_source(src, &opts), &opts);
         match r.outcome {
@@ -101,6 +102,65 @@ fn unused_and_shadowed_bindings_fire_end_to_end() {
 fn unreachable_arm_fires_end_to_end() {
     let codes = lint_codes("main = if True then 1 else 2;");
     assert!(codes.contains(&"L0006"), "{codes:?}");
+}
+
+#[test]
+fn unreachable_case_arm_fires_end_to_end() {
+    // L0006 generalizes to `case`: an arm after a wildcard can never
+    // be selected.
+    let src = "data T = A | B;\nf x = case x of { _ -> 0; A -> 1 };\nmain = f A;";
+    assert!(lint_codes(src).contains(&"L0006"), "{:?}", lint_codes(src));
+}
+
+#[test]
+fn non_exhaustive_match_fires_end_to_end() {
+    let src = "data T = A | B | C;\nf x = case x of { A -> 1 };\nmain = f A;";
+    let check = lint_source(src, &Options::default());
+    let d = check
+        .diags
+        .iter()
+        .find(|d| d.code == "L0012")
+        .unwrap_or_else(|| panic!("expected L0012:\n{}", check.render_diagnostics()));
+    assert_eq!(d.severity, Severity::Warning, "warn by default");
+    assert!(
+        d.message.contains("`B`") && d.message.contains("`C`"),
+        "missing constructors named: {}",
+        d.message
+    );
+    // Deny-level escalation blocks evaluation like any other lint.
+    let mut opts = Options::default();
+    opts.lint_levels
+        .set(Rule::NonExhaustiveMatch, LintLevel::Deny);
+    let denied = lint_source(src, &opts);
+    assert!(!denied.ok());
+    let r = run_checked(denied, &opts);
+    assert!(matches!(r.outcome, Outcome::CompileErrors));
+}
+
+#[test]
+fn match_lint_codes_have_explain_entries() {
+    // `--explain L0012` (and every other lint code) resolves through
+    // `Rule::ALL`; pin the new rule's code, name, and description so
+    // the CLI entry stays stable.
+    let rule = Rule::ALL
+        .iter()
+        .find(|r| r.code() == "L0012")
+        .expect("L0012 registered in Rule::ALL");
+    assert_eq!(rule.name(), "non-exhaustive-match");
+    assert!(
+        rule.description().contains("match-failure"),
+        "{}",
+        rule.description()
+    );
+    let unreachable = Rule::ALL
+        .iter()
+        .find(|r| r.code() == "L0006")
+        .expect("L0006 registered");
+    assert!(
+        unreachable.description().contains("case"),
+        "L0006 description covers case arms: {}",
+        unreachable.description()
+    );
 }
 
 #[test]

@@ -53,12 +53,14 @@ fn class_of(v: &json::Value) -> &str {
 }
 
 /// A small corpus that exercises every pipeline stage meaningfully.
-fn chaos_programs() -> [&'static str; 4] {
+fn chaos_programs() -> [&'static str; 5] {
     [
         "main = member 3 (enumFromTo 1 5);",
         "p = eq (cons 1 nil) (cons 2 nil);\nmain = p;",
         "same x y = eq x y;\nmain = same (cons 1 nil) (cons 1 nil);",
         "main = map (\\x -> mul x x) (enumFromTo 1 4);",
+        "data T = A | B Int deriving (Eq, Ord);\n\
+         main = and (lte A (B 1)) (case (B 2) of { A -> False; B n -> eq n 2 });",
     ]
 }
 
@@ -263,6 +265,10 @@ fn differential_programs() -> Vec<(String, String)> {
         ("no-instance-error", "main = eq (\\x -> x) (\\y -> y);"),
         ("unbound-error", "main = missingFunction 3;"),
         ("runtime-error", "main = head nil;"),
+        (
+            "match-failure",
+            "data T = A | B;\nf x = case x of { A -> 1 };\nmain = f B;",
+        ),
     ] {
         progs.push((name.into(), src.into()));
     }
