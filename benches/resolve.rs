@@ -222,7 +222,8 @@ impl ServeRow {
     }
 }
 
-fn bench_serve_batch(reps: usize) -> ServeRow {
+/// The three example programs repeated `reps` times as one JSONL batch.
+fn example_batch_lines(reps: usize) -> Vec<String> {
     let sources: Vec<String> = [
         "examples/member.mh",
         "examples/maxlist.mh",
@@ -245,6 +246,11 @@ fn bench_serve_batch(reps: usize) -> ServeRow {
             lines.push(w.finish());
         }
     }
+    lines
+}
+
+fn bench_serve_batch(reps: usize) -> ServeRow {
+    let lines = example_batch_lines(reps);
     // The queue holds the whole batch so admission never sheds and the
     // measurement is pure pipeline + pool overhead.
     let cfg = ServeConfig {
@@ -276,6 +282,80 @@ fn bench_serve_batch(reps: usize) -> ServeRow {
         responses_ok,
         nanos_batch: best_nanos,
         programs_per_sec: programs as f64 * 1e9 / best_nanos.max(1) as f64,
+    }
+}
+
+/// Flight-recorder overhead: the same serve batch with the recorder
+/// off vs on. The recorder-on run head-samples *every* request
+/// (`sample_every = 1`) so the tail sampler does maximal work —
+/// record, extract, and retain a trace per request. Counters are
+/// deterministic and gate exactly; both timings are `nanos_*` fields,
+/// so the comparator holds the recorder-on cost to the same ratio
+/// tolerance as every other timing, bounding recorder overhead.
+struct ObsRow {
+    programs: u64,
+    traces_retained: u64,
+    nanos_recorder_off: u128,
+    nanos_recorder_on: u128,
+}
+
+impl ObsRow {
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.field_str("name", "obs_overhead");
+        w.field_u64("programs", self.programs);
+        w.field_u64("traces_retained", self.traces_retained);
+        w.field_u64("nanos_recorder_off", saturate(self.nanos_recorder_off));
+        w.field_u64("nanos_recorder_on", saturate(self.nanos_recorder_on));
+        w.end_object();
+    }
+}
+
+fn bench_obs_overhead(reps: usize) -> ObsRow {
+    use typeclasses::RecorderConfig;
+    let lines = example_batch_lines(reps);
+    let base = ServeConfig {
+        queue_capacity: lines.len().max(64),
+        ..ServeConfig::default()
+    };
+    let run = |cfg: &ServeConfig| {
+        let mut best = u128::MAX;
+        let mut retained = 0;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let (out, summary) = serve_lines(&lines, cfg);
+            let nanos = t0.elapsed().as_nanos();
+            assert_eq!(out.len(), lines.len(), "every request must be answered");
+            assert_eq!(summary.ok(), lines.len() as u64);
+            retained = summary.traces_retained();
+            best = best.min(nanos);
+        }
+        (best, retained)
+    };
+
+    let (nanos_off, retained_off) = run(&base);
+    assert_eq!(retained_off, 0, "recorder off must retain nothing");
+    let cfg_on = ServeConfig {
+        recorder: RecorderConfig {
+            enabled: true,
+            sample_every: 1,
+            max_retained: lines.len().max(1),
+            ..RecorderConfig::default()
+        },
+        ..base.clone()
+    };
+    let (nanos_on, retained_on) = run(&cfg_on);
+    assert_eq!(
+        retained_on,
+        lines.len() as u64,
+        "sample_every=1 must retain every request's trace"
+    );
+
+    ObsRow {
+        programs: lines.len() as u64,
+        traces_retained: retained_on,
+        nanos_recorder_off: nanos_off,
+        nanos_recorder_on: nanos_on,
     }
 }
 
@@ -473,6 +553,9 @@ fn main() {
     // End-to-end server throughput over the same example programs.
     let serve_row = bench_serve_batch(if smoke { 20 } else { 200 });
 
+    // Flight-recorder overhead: the same batch, recorder off vs on.
+    let obs_row = bench_obs_overhead(if smoke { 10 } else { 100 });
+
     // Coherence-checker throughput over a wide disjoint instance world.
     let coherence_row = bench_coherence(iters);
 
@@ -486,6 +569,7 @@ fn main() {
         r.write_json(&mut w);
     }
     serve_row.write_json(&mut w);
+    obs_row.write_json(&mut w);
     coherence_row.write_json(&mut w);
     w.end_array();
     w.end_object();
@@ -516,6 +600,15 @@ fn main() {
         serve_row.responses_ok,
         serve_row.nanos_batch as f64 / 1e6,
         serve_row.programs_per_sec,
+    );
+    println!(
+        "{:28} programs={:6} retained={:4} off={:.3}ms on={:.3}ms ({:+.1}% overhead)",
+        "obs_overhead",
+        obs_row.programs,
+        obs_row.traces_retained,
+        obs_row.nanos_recorder_off as f64 / 1e6,
+        obs_row.nanos_recorder_on as f64 / 1e6,
+        (obs_row.nanos_recorder_on as f64 / obs_row.nanos_recorder_off.max(1) as f64 - 1.0) * 100.0,
     );
     println!(
         "{:28} instances={:4} pairs={:5} check={:.3}ms throughput={:.0} instances/s",

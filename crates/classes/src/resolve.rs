@@ -53,7 +53,8 @@ use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::time::Instant;
 use tc_trace::{
-    CancelToken, CounterId, GaugeId, HistogramId, MetricsRegistry, SpanEvent, TraceNode,
+    CancelToken, CounterId, EventKind, EventScope, GaugeId, HistogramId, MetricsRegistry,
+    SpanEvent, Stage, TraceNode,
 };
 use tc_types::{Interner, NameId, Pred, Type, TypeId};
 
@@ -348,6 +349,10 @@ pub struct ResolveCache {
     /// goals inside the search loop. `None` (the default) costs one
     /// branch per poll site.
     cancel: Option<CancelToken>,
+    /// Flight-recorder scope: one `goal` event per resolved goal
+    /// (depth, memo hit/miss) and one `cache-evict` event per capacity
+    /// trim. Off (one branch per site) by default.
+    events: EventScope,
 }
 
 impl ResolveCache {
@@ -415,6 +420,12 @@ impl ResolveCache {
     /// [`ResolveError::Cancelled`] shortly after it fires.
     pub fn set_cancel(&mut self, token: CancelToken) {
         self.cancel = Some(token);
+    }
+
+    /// Install a flight-recorder scope; per-goal and eviction events
+    /// record into it as resolution runs.
+    pub fn set_events(&mut self, events: EventScope) {
+        self.events = events;
     }
 
     /// Start recording one wall-clock [`SpanEvent`] per *top-level*
@@ -587,6 +598,7 @@ impl<'e> Search<'e> {
         if self.steps & (CANCEL_POLL_GOALS - 1) == 0 {
             if let Some(c) = &self.cache.cancel {
                 if c.is_cancelled() {
+                    self.cache.events.cancelled(Stage::Elaborate);
                     return Err(ResolveError::Cancelled { pred: pred.clone() });
                 }
             }
@@ -610,6 +622,7 @@ impl<'e> Search<'e> {
                 if self.tracing {
                     *via = Some(format!("assumption #{i} `{a}`"));
                 }
+                self.cache.events.record(EventKind::Goal, depth as u64, 2);
                 return Ok(DictDeriv::FromParam { index: i });
             }
         }
@@ -620,6 +633,7 @@ impl<'e> Search<'e> {
             if self.tracing {
                 *via = Some(describe_projection(&d));
             }
+            self.cache.events.record(EventKind::Goal, depth as u64, 2);
             return Ok(d);
         }
 
@@ -641,14 +655,18 @@ impl<'e> Search<'e> {
                     if self.tracing {
                         *via = Some(format!("memo hit (derived at goal #{})", entry.origin));
                     }
+                    self.cache.events.record(EventKind::Goal, depth as u64, 1);
                     return Ok(entry.deriv.clone());
                 }
                 self.cache.stats.table_misses += 1;
+                self.cache.events.record(EventKind::Goal, depth as u64, 0);
                 Some((class, ty))
             } else {
+                self.cache.events.record(EventKind::Goal, depth as u64, 2);
                 None
             }
         } else {
+            self.cache.events.record(EventKind::Goal, depth as u64, 2);
             None
         };
         let steps_at_entry = self.steps;
@@ -716,12 +734,17 @@ impl<'e> Search<'e> {
                 // unaffected — an evicted goal is simply re-derived.
                 if let Some(cap) = self.cache.capacity {
                     let cap = cap.max(1);
+                    let mut evicted = 0u64;
                     while self.cache.table.len() >= cap {
                         let Some(victim) = self.cache.table.keys().next().copied() else {
                             break;
                         };
                         self.cache.table.remove(&victim);
                         self.cache.metrics.incr(CounterId::ResolveCacheEvictions);
+                        evicted += 1;
+                    }
+                    if evicted > 0 {
+                        self.cache.events.record(EventKind::CacheEvict, evicted, 0);
                     }
                 }
                 // The goal's own entry step plus everything below it.

@@ -168,6 +168,7 @@ pub fn check_laws(
         budget: opts.eval_budget,
         profile: false,
         cancel: opts.cancel.clone(),
+        ..EvalOptions::default()
     };
     // Lower the elaborated program once; each case still evaluates in
     // its own hermetic evaluator (fresh budget, cache, arena).

@@ -94,6 +94,10 @@ pub struct ElabOptions {
     /// (`None` = unbounded). Used by servers shedding memory under
     /// load via [`ResolveCache::set_capacity`].
     pub cache_capacity: Option<usize>,
+    /// Flight-recorder scope: when enabled, the resolver records one
+    /// event per goal (depth, memo hit/miss) and per cache eviction.
+    /// The default scope is off and costs one branch per site.
+    pub events: tc_trace::EventScope,
 }
 
 impl Default for ElabOptions {
@@ -106,6 +110,7 @@ impl Default for ElabOptions {
             goal_span_epoch: None,
             cancel: None,
             cache_capacity: None,
+            events: tc_trace::EventScope::off(),
         }
     }
 }
@@ -555,6 +560,9 @@ pub fn elaborate_with_cache(
     }
     if let Some(cap) = opts.cache_capacity {
         cache.set_capacity(cap);
+    }
+    if opts.events.is_enabled() {
+        cache.set_events(opts.events.clone());
     }
     let mut inf = Infer {
         cenv,

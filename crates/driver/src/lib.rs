@@ -49,7 +49,7 @@ use tc_eval::{Budget, EvalError, EvalOptions};
 use tc_lint::LintInput;
 use tc_syntax::{Diagnostics, ParseOptions, Span, Stage as DiagStage};
 use tc_trace::{
-    CancelToken, CounterId, HistogramId, JsonWriter, MetricsRegistry, SpanEvent,
+    CancelToken, CounterId, EventScope, HistogramId, JsonWriter, MetricsRegistry, SpanEvent,
     Stage as TraceStage, Telemetry,
 };
 use tc_types::VarGen;
@@ -151,6 +151,13 @@ pub struct Options {
     /// Deterministic fault injection for this run; disabled (and one
     /// branch per site) by default. See [`resilience`].
     pub faults: Faults,
+    /// Flight-recorder scope for this run (see [`tc_trace::events`]):
+    /// stage boundaries, resolver goals, cache evictions, evaluator
+    /// budget checkpoints, deadline cancellations, and fault firings
+    /// each record one fixed-size event into the scope's ring buffer.
+    /// Off by default — every site is a single branch and allocates
+    /// nothing.
+    pub events: EventScope,
 }
 
 impl Default for Options {
@@ -174,6 +181,7 @@ impl Default for Options {
             cancel: None,
             cache_capacity: None,
             faults: Faults::none(),
+            events: EventScope::off(),
         }
     }
 }
@@ -428,15 +436,22 @@ impl RunResult {
 }
 
 /// Stage-boundary cancellation check. The first tripped check emits
-/// one `E0430` diagnostic and latches `cancelled`, so later
+/// one `E0430` diagnostic, records a `Cancelled` event naming the
+/// stage that was about to run, and latches `cancelled`, so later
 /// boundaries skip their stages silently instead of piling on
 /// duplicate errors.
-fn deadline_tripped(opts: &Options, diags: &mut Diagnostics, cancelled: &mut bool) -> bool {
+fn deadline_tripped(
+    opts: &Options,
+    diags: &mut Diagnostics,
+    cancelled: &mut bool,
+    next_stage: TraceStage,
+) -> bool {
     if *cancelled {
         return true;
     }
     if opts.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
         *cancelled = true;
+        opts.events.cancelled(next_stage);
         diags.error(
             DiagStage::Driver,
             CANCELLED_CODE,
@@ -462,8 +477,10 @@ fn compile(src: &str, opts: &Options, lint: bool) -> Check {
     };
 
     let timer = telemetry.start();
+    opts.events.stage_start(TraceStage::Lex);
     let (toks, mut diags) = tc_syntax::lex(&full_source);
     telemetry.record(TraceStage::Lex, timer, diags.len() as u64);
+    opts.events.stage_end(TraceStage::Lex, diags.len() as u64);
     let mut seen = diags.len();
 
     let mut metrics = if opts.collect_metrics {
@@ -481,22 +498,28 @@ fn compile(src: &str, opts: &Options, lint: bool) -> Check {
     let mut cancelled = false;
 
     let timer = telemetry.start();
-    let _ = opts.faults.fire(FaultSite::Parse);
+    opts.events.stage_start(TraceStage::Parse);
+    let _ = opts.faults.fire_traced(FaultSite::Parse, &opts.events);
     let (prog, pd, pstats) = tc_syntax::parse_program_with(&toks, opts.parse.clone());
     diags.extend(pd);
     telemetry.record(TraceStage::Parse, timer, (diags.len() - seen) as u64);
+    opts.events
+        .stage_end(TraceStage::Parse, (diags.len() - seen) as u64);
     metrics.add(CounterId::ParseRecoveries, pstats.recoveries);
     seen = diags.len();
 
     let mut gen = VarGen::new();
-    let cenv = if deadline_tripped(opts, &mut diags, &mut cancelled) {
+    let cenv = if deadline_tripped(opts, &mut diags, &mut cancelled, TraceStage::ClassEnv) {
         ClassEnv::default()
     } else {
         let timer = telemetry.start();
-        let _ = opts.faults.fire(FaultSite::ClassEnv);
+        opts.events.stage_start(TraceStage::ClassEnv);
+        let _ = opts.faults.fire_traced(FaultSite::ClassEnv, &opts.events);
         let (cenv, cd) = build_class_env(&prog, &mut gen);
         diags.extend(cd);
         telemetry.record(TraceStage::ClassEnv, timer, (diags.len() - seen) as u64);
+        opts.events
+            .stage_end(TraceStage::ClassEnv, (diags.len() - seen) as u64);
         seen = diags.len();
         cenv
     };
@@ -505,8 +528,9 @@ fn compile(src: &str, opts: &Options, lint: bool) -> Check {
     // and cycle findings only need instance heads, so they stay
     // available even when a tripped deadline skips elaboration. No
     // fault site here — the pass is pure table-walking over the env.
-    if !deadline_tripped(opts, &mut diags, &mut cancelled) {
+    if !deadline_tripped(opts, &mut diags, &mut cancelled, TraceStage::Coherence) {
         let timer = telemetry.start();
+        opts.events.stage_start(TraceStage::Coherence);
         diags.extend(tc_coherence::check_coherence(
             &CoherenceInput {
                 cenv: &cenv,
@@ -516,15 +540,18 @@ fn compile(src: &str, opts: &Options, lint: bool) -> Check {
             &mut metrics,
         ));
         telemetry.record(TraceStage::Coherence, timer, (diags.len() - seen) as u64);
+        opts.events
+            .stage_end(TraceStage::Coherence, (diags.len() - seen) as u64);
         seen = diags.len();
     }
 
-    let mut elab = if deadline_tripped(opts, &mut diags, &mut cancelled) {
+    let mut elab = if deadline_tripped(opts, &mut diags, &mut cancelled, TraceStage::Elaborate) {
         Elaboration::default()
     } else {
         let timer = telemetry.start();
+        opts.events.stage_start(TraceStage::Elaborate);
         let mut reduce = opts.reduce;
-        if opts.faults.fire(FaultSite::Elaborate) == FaultOutcome::Budget {
+        if opts.faults.fire_traced(FaultSite::Elaborate, &opts.events) == FaultOutcome::Budget {
             // Injected budget exhaustion: every nontrivial resolution
             // goal now fails structurally (E0421), never hangs.
             reduce = ReduceBudget {
@@ -549,10 +576,13 @@ fn compile(src: &str, opts: &Options, lint: bool) -> Check {
                     .then(|| telemetry.epoch().unwrap_or_else(std::time::Instant::now)),
                 cancel: opts.cancel.clone(),
                 cache_capacity: opts.cache_capacity,
+                events: opts.events.clone(),
             },
         );
         diags.extend(ed);
         telemetry.record(TraceStage::Elaborate, timer, (diags.len() - seen) as u64);
+        opts.events
+            .stage_end(TraceStage::Elaborate, (diags.len() - seen) as u64);
         seen = diags.len();
         elab
     };
@@ -562,17 +592,23 @@ fn compile(src: &str, opts: &Options, lint: bool) -> Check {
     // the pass has already hoisted. The span is recorded even with
     // sharing off, so the stage sequence is stable across configs.
     let timer = telemetry.start();
-    let share = if opts.share_dictionaries && !deadline_tripped(opts, &mut diags, &mut cancelled) {
-        let _ = opts.faults.fire(FaultSite::Share);
-        tc_coreir::share_program_metered(&mut elab.core, &mut metrics)
+    let share = if opts.share_dictionaries
+        && !deadline_tripped(opts, &mut diags, &mut cancelled, TraceStage::Share)
+    {
+        opts.events.stage_start(TraceStage::Share);
+        let _ = opts.faults.fire_traced(FaultSite::Share, &opts.events);
+        let share = tc_coreir::share_program_metered(&mut elab.core, &mut metrics);
+        opts.events.stage_end(TraceStage::Share, 0);
+        share
     } else {
         ShareStats::default()
     };
     telemetry.record(TraceStage::Share, timer, 0);
 
-    if lint && !deadline_tripped(opts, &mut diags, &mut cancelled) {
+    if lint && !deadline_tripped(opts, &mut diags, &mut cancelled, TraceStage::Lint) {
         let timer = telemetry.start();
-        let _ = opts.faults.fire(FaultSite::Lint);
+        opts.events.stage_start(TraceStage::Lint);
+        let _ = opts.faults.fire_traced(FaultSite::Lint, &opts.events);
         diags.extend(tc_lint::run_lints(
             &LintInput {
                 program: &prog,
@@ -583,6 +619,8 @@ fn compile(src: &str, opts: &Options, lint: bool) -> Check {
             &opts.lint_levels,
         ));
         telemetry.record(TraceStage::Lint, timer, (diags.len() - seen) as u64);
+        opts.events
+            .stage_end(TraceStage::Lint, (diags.len() - seen) as u64);
     }
 
     // The law harness runs last among the static passes: it needs the
@@ -591,7 +629,9 @@ fn compile(src: &str, opts: &Options, lint: bool) -> Check {
     // — law verdicts on an erroneous program would blame dictionaries
     // that were never built. Its findings land under the same
     // `Coherence` stage as the structural checks.
-    if opts.check_laws && !diags.has_errors() && !deadline_tripped(opts, &mut diags, &mut cancelled)
+    if opts.check_laws
+        && !diags.has_errors()
+        && !deadline_tripped(opts, &mut diags, &mut cancelled, TraceStage::Coherence)
     {
         let before = diags.len();
         let timer = telemetry.start();
@@ -617,7 +657,7 @@ fn compile(src: &str, opts: &Options, lint: bool) -> Check {
 
     // Final boundary: a deadline that expired during the last stage
     // still surfaces as E0430 (there is no later boundary to catch it).
-    let _ = deadline_tripped(opts, &mut diags, &mut cancelled);
+    let _ = deadline_tripped(opts, &mut diags, &mut cancelled, TraceStage::Eval);
 
     if telemetry.is_enabled() {
         telemetry.counter("core_bindings", elab.core.binds.len() as u64);
@@ -676,13 +716,14 @@ pub fn run_checked(mut check: Check, opts: &Options) -> RunResult {
             None => Outcome::NoMain,
             Some(entry) => {
                 let timer = check.telemetry.start();
+                opts.events.stage_start(TraceStage::Eval);
                 // Metrics want the per-binding fuel histogram, which
                 // only the profiler collects — profile internally when
                 // metrics are on, but surface the profile to the
                 // caller only when they asked for it.
                 let metrics_on = check.stats.metrics.is_enabled();
                 let mut budget = opts.budget;
-                if opts.faults.fire(FaultSite::Eval) == FaultOutcome::Budget {
+                if opts.faults.fire_traced(FaultSite::Eval, &opts.events) == FaultOutcome::Budget {
                     // Injected exhaustion: the very first tick trips,
                     // producing a structured fuel error with a
                     // zero-remaining budget snapshot.
@@ -699,9 +740,11 @@ pub fn run_checked(mut check: Check, opts: &Options) -> RunResult {
                         budget,
                         profile: opts.profile_eval || metrics_on,
                         cancel: opts.cancel.clone(),
+                        events: opts.events.clone(),
                     },
                 );
                 check.telemetry.record(TraceStage::Eval, timer, 0);
+                opts.events.stage_end(TraceStage::Eval, 0);
                 check.stats.eval = Some(run.stats);
                 if metrics_on {
                     let m = &mut check.stats.metrics;

@@ -37,6 +37,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use tc_trace::{EventKind, EventScope};
 
 /// A named pipeline site where a fault may be injected. Sites sit at
 /// stage *entry*, so a `panic` fault at `elaborate` unwinds out of
@@ -76,6 +77,22 @@ impl FaultSite {
 
     fn parse(s: &str) -> Option<FaultSite> {
         FaultSite::ALL.into_iter().find(|site| site.name() == s)
+    }
+
+    /// The [`tc_trace::Stage`] this site corresponds to, as an index
+    /// into `Stage::ALL` — the encoding flight-recorder events use,
+    /// so a `fault-injected` event names the same stage its
+    /// surrounding `stage-start` does.
+    pub fn stage_index(self) -> u64 {
+        let stage = match self {
+            FaultSite::Parse => tc_trace::Stage::Parse,
+            FaultSite::ClassEnv => tc_trace::Stage::ClassEnv,
+            FaultSite::Elaborate => tc_trace::Stage::Elaborate,
+            FaultSite::Share => tc_trace::Stage::Share,
+            FaultSite::Lint => tc_trace::Stage::Lint,
+            FaultSite::Eval => tc_trace::Stage::Eval,
+        };
+        stage as u64
     }
 }
 
@@ -228,6 +245,14 @@ impl Faults {
     /// Callers that need the injection count for metrics read
     /// [`Faults::injected`] afterwards.
     pub fn fire(&self, site: FaultSite) -> FaultOutcome {
+        self.fire_traced(site, &EventScope::off())
+    }
+
+    /// Like [`Faults::fire`], but record a `fault-injected` event into
+    /// the flight recorder *before* executing the action — a panic
+    /// unwinds the stack, so recording afterwards would lose exactly
+    /// the firings a retained trace most needs to show.
+    pub fn fire_traced(&self, site: FaultSite, events: &EventScope) -> FaultOutcome {
         let Some(ctx) = &self.0 else {
             return FaultOutcome::None;
         };
@@ -241,6 +266,12 @@ impl Faults {
                 continue;
             }
             ctx.fired.fetch_add(1, Ordering::Relaxed);
+            let action_code = match rule.action {
+                FaultAction::Panic => 0,
+                FaultAction::Delay(_) => 1,
+                FaultAction::Budget => 2,
+            };
+            events.record(EventKind::FaultInjected, site.stage_index(), action_code);
             match rule.action {
                 FaultAction::Panic => {
                     // The whole point: unwind out of the pipeline so
@@ -422,5 +453,25 @@ mod tests {
     #[test]
     fn isolated_passes_values_through() {
         assert_eq!(isolated(|| 40 + 2).unwrap(), 42);
+    }
+
+    #[test]
+    fn fire_traced_records_the_event_before_the_panic() {
+        let log = tc_trace::EventLog::with_capacity(8);
+        let plan = FaultPlan::parse("elaborate=panic").unwrap();
+        let f = plan.for_request(9);
+        let scope = log.scope(9);
+        let err = isolated(|| {
+            let _ = f.fire_traced(FaultSite::Elaborate, &scope);
+        })
+        .unwrap_err();
+        assert!(err.starts_with("tc-fault:"), "{err}");
+        // The event survived the unwind: it names the failing stage
+        // and the action that fired.
+        let events = log.extract(9);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, EventKind::FaultInjected);
+        assert_eq!(events[0].arg0, tc_trace::Stage::Elaborate as u64);
+        assert_eq!(events[0].arg1, 0, "action code 0 = panic");
     }
 }

@@ -38,7 +38,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 use tc_coreir::{CoreExpr, CoreProgram, Literal};
-use tc_trace::CancelToken;
+use tc_trace::{CancelToken, EventKind, EventScope, Stage};
 
 /// Resource limits for one evaluation session.
 #[derive(Debug, Clone, Copy)]
@@ -499,6 +499,10 @@ pub struct Evaluator {
     /// fuel ticks so a deadline stops a runaway evaluation promptly
     /// without paying a clock read per step.
     cancel: Option<CancelToken>,
+    /// Flight-recorder scope: a budget checkpoint event is recorded at
+    /// the cancellation-poll cadence, and a `cancelled` event when the
+    /// fuel loop observes a tripped token. Off (one branch) by default.
+    events: EventScope,
     /// `Rc` pointer of a global binding's thunk → binding name, kept
     /// regardless of profiling so budget errors can name the binding
     /// that was being evaluated.
@@ -564,6 +568,7 @@ impl Evaluator {
             forces: 0,
             profile: None,
             cancel: None,
+            events: EventScope::off(),
             global_names: HashMap::new(),
             binding_stack: Vec::new(),
             arena: Vec::new(),
@@ -574,6 +579,12 @@ impl Evaluator {
     /// [`EvalError::Cancelled`] shortly after it fires.
     pub fn set_cancel(&mut self, token: CancelToken) {
         self.cancel = Some(token);
+    }
+
+    /// Install a flight-recorder scope; budget checkpoints and
+    /// cancellations record events into it.
+    pub fn set_events(&mut self, events: EventScope) {
+        self.events = events;
     }
 
     /// Where the budget stands right now, for error payloads.
@@ -624,8 +635,14 @@ impl Evaluator {
         }
         self.fuel_left -= 1;
         if self.fuel_left & CANCEL_POLL_MASK == 0 {
+            self.events.record(
+                EventKind::EvalCheckpoint,
+                self.budget.fuel - self.fuel_left,
+                depth as u64,
+            );
             if let Some(c) = &self.cancel {
                 if c.is_cancelled() {
+                    self.events.cancelled(Stage::Eval);
                     return Err(EvalError::Cancelled(self.snapshot(depth)));
                 }
             }
@@ -1115,6 +1132,9 @@ pub struct EvalOptions {
     /// Cooperative cancellation; checked before evaluation starts and
     /// polled inside the fuel loop.
     pub cancel: Option<CancelToken>,
+    /// Flight-recorder scope for this session (budget checkpoints,
+    /// cancellation). Off and branch-cheap by default.
+    pub events: EventScope,
 }
 
 /// Evaluate `entry` in `prog` under the given options, deep-print the
@@ -1133,6 +1153,9 @@ pub fn run_lowered_with(prog: &LoweredProgram, entry: &str, opts: &EvalOptions) 
     }
     if let Some(c) = &opts.cancel {
         ev.set_cancel(c.clone());
+    }
+    if opts.events.is_enabled() {
+        ev.set_events(opts.events.clone());
     }
     let already_cancelled = opts.cancel.as_ref().is_some_and(|c| c.is_cancelled());
     let result = if already_cancelled {
@@ -1163,6 +1186,7 @@ pub fn run_entry_instrumented(
             budget,
             profile,
             cancel: None,
+            events: EventScope::off(),
         },
     )
 }

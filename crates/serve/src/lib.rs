@@ -28,6 +28,18 @@
 //!   panic / stall / exhaust budgets at named pipeline sites, keyed by
 //!   the request sequence number — the chaos suite replays the exact
 //!   same failures every run.
+//! - **Flight recorder with tail sampling.** With
+//!   [`RecorderConfig::enabled`], every request records its pipeline
+//!   events (stage boundaries, resolver goals, evaluator checkpoints,
+//!   injected faults, cancellations) into a per-worker fixed-capacity
+//!   [`EventLog`] ring under `trace_id = seq`. Most rings are simply
+//!   overwritten; a request that turns out to be *anomalous* — errored,
+//!   shed, deadline-exceeded, fault-injected, slower than
+//!   [`RecorderConfig::latency_threshold_us`], or picked by 1-in-N head
+//!   sampling — has its events extracted and **retained** after the
+//!   fact (tail-based sampling: the keep/drop decision happens when the
+//!   outcome is known, so anomalies are never lost to an up-front coin
+//!   flip). `{"cmd":"dump"}` drains the retained set as one JSON line.
 //!
 //! # Request protocol
 //!
@@ -36,7 +48,7 @@
 //! | field         | type   | meaning                                        |
 //! |---------------|--------|------------------------------------------------|
 //! | `id`          | num/str| echoed on the response (default: line number)  |
-//! | `cmd`         | str    | `"run"` (default), `"check"`, or `"stats"`     |
+//! | `cmd`         | str    | `"run"` (default), `"check"`, `"stats"`, or `"dump"` |
 //! | `program`     | str    | Mini-Haskell source (required for `run`/`check`)|
 //! | `deadline_ms` | num    | per-request deadline, admission to answer      |
 //! | `prelude`     | bool   | splice the prelude (default true)              |
@@ -68,7 +80,16 @@
 //! `{"cmd":"stats"}` answers with the fleet metrics snapshot: every
 //! worker keeps a private [`MetricsRegistry`] (no contention on the
 //! hot path beyond one mutex lock per request) and the snapshot merges
-//! them all.
+//! them all. The response also carries `uptime_ms`, per-worker request
+//! counts (`workers`), and a `latency` object with p50/p90/p99 per
+//! outcome class (`ok` / `internal` / `deadline` / `overloaded`),
+//! interpolated from the log2-bucketed latency histograms.
+//!
+//! `{"cmd":"dump"}` is a barrier: admission waits for every in-flight
+//! request to finish, then answers with the retained traces
+//! (`traces`, sorted by `trace_id`) and clears the store. Because the
+//! barrier drains the pipeline first, a dump after a deterministic
+//! fault run always sees the same retained set.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![cfg_attr(not(test), deny(clippy::panic))]
@@ -86,10 +107,151 @@ use tc_driver::{
 };
 use tc_eval::EvalError;
 use tc_syntax::Severity;
-use tc_trace::{json, CancelToken, CounterId, HistogramId, JsonWriter, MetricsRegistry};
+use tc_trace::events::{
+    outcome_name, OUTCOME_BAD_REQUEST, OUTCOME_DEADLINE, OUTCOME_INTERNAL, OUTCOME_OK,
+    OUTCOME_OVERLOADED,
+};
+use tc_trace::{
+    json, CancelToken, CounterId, Event, EventKind, EventLog, HistogramId, JsonWriter,
+    MetricsRegistry,
+};
 
 /// Memo-table cap applied under heavy load (≥75% queue occupancy).
 const DEGRADED_CACHE_CAPACITY: usize = 256;
+
+/// Flight-recorder configuration: off by default (the recorder is
+/// zero-cost when off — every record site pays one branch and no
+/// allocation, asserted by tests).
+#[derive(Debug, Clone)]
+pub struct RecorderConfig {
+    /// Record pipeline events and tail-sample anomalous requests.
+    pub enabled: bool,
+    /// Per-worker event ring capacity (events, min 1). The ring is
+    /// allocated once at startup and never grows.
+    pub capacity: usize,
+    /// Retain any request slower than this, microseconds
+    /// (`u64::MAX` = never retain on latency alone).
+    pub latency_threshold_us: u64,
+    /// Head sampling: retain every Nth request regardless of outcome
+    /// (0 = none). Keyed on the deterministic sequence number.
+    pub sample_every: u64,
+    /// Retained-trace store cap; beyond it new traces are counted as
+    /// dropped instead of growing memory.
+    pub max_retained: usize,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        RecorderConfig {
+            enabled: false,
+            capacity: 4096,
+            latency_threshold_us: u64::MAX,
+            sample_every: 0,
+            max_retained: 256,
+        }
+    }
+}
+
+/// The adaptive `retry_after_ms` hint for a shed response: scale the
+/// configured base by the backlog each worker must clear first, so a
+/// barely-full queue hints a short backoff and a deep one hints
+/// proportionally longer. Pure — tested directly.
+pub fn retry_after_hint(base_ms: u64, queue_depth: usize, workers: usize) -> u64 {
+    let per_worker = (queue_depth as u64).div_ceil(workers.max(1) as u64);
+    base_ms.saturating_mul(per_worker.max(1))
+}
+
+/// One tail-sampled request: the outcome that made it worth keeping
+/// plus every event its trace recorded.
+#[derive(Debug, Clone)]
+pub struct RetainedTrace {
+    /// The request sequence number (`trace_id` in every event).
+    pub trace_id: u64,
+    /// Outcome-class code ([`outcome_name`]).
+    pub outcome: u64,
+    /// Why the tail sampler kept it: the error class, `"fault"`,
+    /// `"slow"`, or `"sampled"`.
+    pub reason: &'static str,
+    pub latency_us: u64,
+    pub events: Vec<Event>,
+}
+
+impl RetainedTrace {
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.field_u64("trace_id", self.trace_id);
+        w.field_str("outcome", outcome_name(self.outcome));
+        w.field_str("reason", self.reason);
+        w.field_u64("latency_us", self.latency_us);
+        w.begin_array_field("events");
+        for e in &self.events {
+            e.write_json(w);
+        }
+        w.end_array();
+        w.end_object();
+    }
+}
+
+/// The bounded retained-trace store shared by admission and workers.
+#[derive(Debug)]
+struct RetainedStore {
+    traces: Vec<RetainedTrace>,
+    dropped: u64,
+    max: usize,
+}
+
+/// Push a trace into the store; `false` means the store was full and
+/// the trace was counted as dropped instead.
+fn retain(store: &Mutex<RetainedStore>, t: RetainedTrace) -> bool {
+    let mut st = lock_unpoisoned(store);
+    if st.traces.len() < st.max {
+        st.traces.push(t);
+        true
+    } else {
+        st.dropped += 1;
+        false
+    }
+}
+
+/// The tail-sampling decision: keep this request's trace? Checked
+/// *after* the outcome is known. Returns the retention reason, or
+/// `None` to let the ring overwrite the events.
+fn retention_reason(
+    rec: &RecorderConfig,
+    seq: u64,
+    outcome: u64,
+    latency_us: u64,
+    events: &[Event],
+) -> Option<&'static str> {
+    if !rec.enabled {
+        return None;
+    }
+    if outcome != OUTCOME_OK {
+        return Some(outcome_name(outcome));
+    }
+    if events.iter().any(|e| e.kind == EventKind::FaultInjected) {
+        return Some("fault");
+    }
+    if latency_us >= rec.latency_threshold_us {
+        return Some("slow");
+    }
+    if rec.sample_every > 0 && seq.is_multiple_of(rec.sample_every) {
+        return Some("sampled");
+    }
+    None
+}
+
+/// The per-class latency histogram for an outcome code (`None` for
+/// classes without one, e.g. bad requests that never ran).
+fn latency_class(code: u64) -> Option<HistogramId> {
+    match code {
+        OUTCOME_OK => Some(HistogramId::ServeLatencyOkUs),
+        OUTCOME_INTERNAL => Some(HistogramId::ServeLatencyInternalUs),
+        OUTCOME_DEADLINE => Some(HistogramId::ServeLatencyDeadlineUs),
+        OUTCOME_OVERLOADED => Some(HistogramId::ServeLatencyOverloadedUs),
+        _ => None,
+    }
+}
 
 /// Server configuration. [`ServeConfig::default`] is a sensible
 /// interactive setup: a small pool, a 64-deep queue, no deadline, no
@@ -106,6 +268,8 @@ pub struct ServeConfig {
     pub retry_after_ms: u64,
     /// Deterministic fault injection plan (chaos testing).
     pub faults: Option<FaultPlan>,
+    /// Flight-recorder / tail-sampling configuration.
+    pub recorder: RecorderConfig,
     /// Base pipeline options; per-request fields override a copy.
     pub options: Options,
 }
@@ -120,6 +284,7 @@ impl Default for ServeConfig {
             default_deadline_ms: None,
             retry_after_ms: 50,
             faults: None,
+            recorder: RecorderConfig::default(),
             options: Options::default(),
         }
     }
@@ -140,6 +305,8 @@ pub struct ServeSummary {
     pub bad_requests: u64,
     /// `stats` commands answered.
     pub stats_requests: u64,
+    /// `dump` commands answered.
+    pub dump_requests: u64,
     /// Responses successfully written.
     pub responses: u64,
     /// Responses dropped because the output sink failed (e.g. a
@@ -147,6 +314,9 @@ pub struct ServeSummary {
     pub write_errors: u64,
     /// Merged fleet metrics (admission + every worker).
     pub fleet: MetricsRegistry,
+    /// Tail-sampled traces still in the store at shutdown (whatever
+    /// `dump` commands did not already drain), sorted by `trace_id`.
+    pub retained: Vec<RetainedTrace>,
 }
 
 impl ServeSummary {
@@ -161,6 +331,15 @@ impl ServeSummary {
     /// Requests answered `error:"deadline"`.
     pub fn deadline(&self) -> u64 {
         self.fleet.counter(CounterId::ServeErrDeadline)
+    }
+    /// Traces the tail sampler kept (including ones later drained by
+    /// `dump`).
+    pub fn traces_retained(&self) -> u64 {
+        self.fleet.counter(CounterId::ServeTracesRetained)
+    }
+    /// Traces lost to the retained-store cap.
+    pub fn traces_dropped(&self) -> u64 {
+        self.fleet.counter(CounterId::ServeTracesDropped)
     }
 }
 
@@ -202,6 +381,7 @@ struct Job {
 enum Parsed {
     Run(Box<Job>),
     Stats,
+    Dump,
 }
 
 /// Lock a mutex, riding through poisoning: workers isolate panics
@@ -254,6 +434,7 @@ fn parse_request(line: &str, seq: u64, base: &Options) -> (ReqId, Result<Parsed,
     };
     match cmd {
         "stats" => (id, Ok(Parsed::Stats)),
+        "dump" => (id, Ok(Parsed::Dump)),
         "run" | "check" => {
             let check = cmd == "check";
             let spec = (|| {
@@ -464,12 +645,46 @@ enum Done {
     Check(Check),
 }
 
+/// Classify a finished job's outcome and build its response line.
+fn classify(job: &Job, outcome: Result<Done, String>, latency_us: u64) -> (u64, String) {
+    match outcome {
+        Err(panic_msg) => (
+            OUTCOME_INTERNAL,
+            error_response(&job.id, "internal", &panic_msg, None),
+        ),
+        Ok(Done::Run(r)) if deadline_hit(&r) => (
+            OUTCOME_DEADLINE,
+            error_response(&job.id, "deadline", "deadline exceeded", None),
+        ),
+        Ok(Done::Check(c)) if compile_cancelled(&c) => (
+            OUTCOME_DEADLINE,
+            error_response(&job.id, "deadline", "deadline exceeded", None),
+        ),
+        Ok(Done::Run(r)) => (OUTCOME_OK, ok_response(job, &r, latency_us)),
+        Ok(Done::Check(c)) => (OUTCOME_OK, check_response(job, &c, latency_us)),
+    }
+}
+
 /// Process one admitted job on a worker: apply degradation, arm
-/// faults, run the pipeline under panic isolation, classify, record
-/// metrics, and return the single response line.
-fn process(mut job: Job, cfg: &ServeConfig, reg: &Mutex<MetricsRegistry>) -> String {
+/// faults, run the pipeline under panic isolation (recording its
+/// events under `trace_id = seq`), classify, record metrics, make the
+/// tail-sampling decision, and return the single response line.
+fn process(
+    mut job: Job,
+    cfg: &ServeConfig,
+    reg: &Mutex<MetricsRegistry>,
+    log: &EventLog,
+    store: &Mutex<RetainedStore>,
+) -> String {
+    let scope = log.scope(job.seq);
+    scope.record(
+        EventKind::RequestStart,
+        job.seq,
+        job.admitted_at.elapsed().as_micros() as u64,
+    );
     {
         let mut m = lock_unpoisoned(reg);
+        m.incr(CounterId::ServeProcessed);
         if job.degrade_traces {
             m.incr(CounterId::ServeDegradedTraces);
         }
@@ -480,6 +695,8 @@ fn process(mut job: Job, cfg: &ServeConfig, reg: &Mutex<MetricsRegistry>) -> Str
     if job.degrade_traces {
         // Shed optional observability first: correctness of the
         // answer is untouched, only explain/profile detail is lost.
+        // The flight recorder stays on — it is the instrument that
+        // explains exactly these degraded requests.
         job.opts.trace_resolution = false;
         job.opts.trace_goal_spans = false;
         job.opts.trace_timing = false;
@@ -489,6 +706,7 @@ fn process(mut job: Job, cfg: &ServeConfig, reg: &Mutex<MetricsRegistry>) -> Str
         job.opts.cache_capacity = Some(DEGRADED_CACHE_CAPACITY);
     }
     job.opts.cancel = job.token.clone();
+    job.opts.events = scope.clone();
     let faults = cfg
         .faults
         .as_ref()
@@ -498,61 +716,109 @@ fn process(mut job: Job, cfg: &ServeConfig, reg: &Mutex<MetricsRegistry>) -> Str
 
     // A deadline that expired while the job sat in the queue: answer
     // without burning any pipeline work.
-    if job.token.as_ref().is_some_and(|t| t.is_cancelled()) {
-        let mut m = lock_unpoisoned(reg);
-        m.incr(CounterId::ServeErrDeadline);
-        m.observe(
-            HistogramId::ServeLatencyUs,
-            job.admitted_at.elapsed().as_micros() as u64,
-        );
-        return error_response(
+    let (code, resp, injected) = if job.token.as_ref().is_some_and(|t| t.is_cancelled()) {
+        let resp = error_response(
             &job.id,
             "deadline",
             "deadline expired before compilation started",
             None,
         );
-    }
-
-    let outcome = resilience::isolated(|| {
-        let check = if job.lint {
-            lint_source(&job.program, &job.opts)
-        } else {
-            check_source(&job.program, &job.opts)
-        };
-        if job.check {
-            // Static surface: stop after the analysis passes; `main`
-            // (if any) is never evaluated.
-            Done::Check(check)
-        } else {
-            Done::Run(run_checked(check, &job.opts))
-        }
-    });
+        (OUTCOME_DEADLINE, resp, 0)
+    } else {
+        let outcome = resilience::isolated(|| {
+            let check = if job.lint {
+                lint_source(&job.program, &job.opts)
+            } else {
+                check_source(&job.program, &job.opts)
+            };
+            if job.check {
+                // Static surface: stop after the analysis passes;
+                // `main` (if any) is never evaluated.
+                Done::Check(check)
+            } else {
+                Done::Run(run_checked(check, &job.opts))
+            }
+        });
+        let latency_us = job.admitted_at.elapsed().as_micros() as u64;
+        let (code, resp) = classify(&job, outcome, latency_us);
+        (code, resp, faults.injected())
+    };
 
     let latency_us = job.admitted_at.elapsed().as_micros() as u64;
-    let injected = faults.injected();
+    scope.record(EventKind::RequestEnd, code, latency_us);
+
+    // Tail sampling: now that the outcome is known, decide whether
+    // this request's events are worth keeping.
+    let mut kept = None;
+    if cfg.recorder.enabled {
+        let events = log.extract(job.seq);
+        if let Some(reason) = retention_reason(&cfg.recorder, job.seq, code, latency_us, &events) {
+            kept = Some(retain(
+                store,
+                RetainedTrace {
+                    trace_id: job.seq,
+                    outcome: code,
+                    reason,
+                    latency_us,
+                    events,
+                },
+            ));
+        }
+    }
+
     let mut m = lock_unpoisoned(reg);
     m.add(CounterId::ServeFaultsInjected, injected);
     m.observe(HistogramId::ServeLatencyUs, latency_us);
-    match outcome {
-        Err(panic_msg) => {
-            m.incr(CounterId::ServeErrInternal);
-            error_response(&job.id, "internal", &panic_msg, None)
+    if let Some(h) = latency_class(code) {
+        m.observe(h, latency_us);
+    }
+    match code {
+        OUTCOME_INTERNAL => m.incr(CounterId::ServeErrInternal),
+        OUTCOME_DEADLINE => m.incr(CounterId::ServeErrDeadline),
+        _ => m.incr(CounterId::ServeOk),
+    }
+    match kept {
+        Some(true) => m.incr(CounterId::ServeTracesRetained),
+        Some(false) => m.incr(CounterId::ServeTracesDropped),
+        None => {}
+    }
+    resp
+}
+
+/// In-flight request gate: admission increments before pushing a job,
+/// the worker decrements after the response *and* the tail-sampling
+/// decision are out. `dump` waits on zero, making it a barrier — the
+/// retained set it drains is complete for everything admitted before
+/// it.
+struct Gate {
+    count: Mutex<u64>,
+    zero: Condvar,
+}
+
+impl Gate {
+    fn new() -> Gate {
+        Gate {
+            count: Mutex::new(0),
+            zero: Condvar::new(),
         }
-        Ok(Done::Run(r)) if deadline_hit(&r) => {
-            m.incr(CounterId::ServeErrDeadline);
-            error_response(&job.id, "deadline", "deadline exceeded", None)
+    }
+
+    fn enter(&self) {
+        *lock_unpoisoned(&self.count) += 1;
+    }
+
+    fn exit(&self) {
+        let mut n = lock_unpoisoned(&self.count);
+        *n = n.saturating_sub(1);
+        if *n == 0 {
+            self.zero.notify_all();
         }
-        Ok(Done::Check(c)) if compile_cancelled(&c) => {
-            m.incr(CounterId::ServeErrDeadline);
-            error_response(&job.id, "deadline", "deadline exceeded", None)
-        }
-        Ok(Done::Run(r)) => {
-            m.incr(CounterId::ServeOk);
-            ok_response(&job, &r, latency_us)
-        }
-        Ok(Done::Check(c)) => {
-            m.incr(CounterId::ServeOk);
-            check_response(&job, &c, latency_us)
+    }
+
+    fn wait_idle(&self) {
+        let mut n = lock_unpoisoned(&self.count);
+        while *n > 0 {
+            n = self.zero.wait(n).unwrap_or_else(|e| e.into_inner());
         }
     }
 }
@@ -637,12 +903,33 @@ pub fn serve<R: BufRead, W: Write + Send>(
     cfg: &ServeConfig,
 ) -> ServeSummary {
     install_fault_panic_hook();
+    let started = Instant::now();
     let workers = cfg.workers.max(1);
     let cap = cfg.queue_capacity.max(1);
     let queue = Queue::new();
     let worker_regs: Vec<Mutex<MetricsRegistry>> = (0..workers)
         .map(|_| Mutex::new(MetricsRegistry::new()))
         .collect();
+    // One event ring per worker (a worker records one request at a
+    // time, so rings never mix concurrent traces) plus one for
+    // admission-side synthesized traces (shed / bad-request).
+    let event_log = |enabled: bool| {
+        if enabled {
+            EventLog::with_capacity(cfg.recorder.capacity)
+        } else {
+            EventLog::off()
+        }
+    };
+    let worker_logs: Vec<EventLog> = (0..workers)
+        .map(|_| event_log(cfg.recorder.enabled))
+        .collect();
+    let admission_log = event_log(cfg.recorder.enabled);
+    let store = Mutex::new(RetainedStore {
+        traces: Vec::new(),
+        dropped: 0,
+        max: cfg.recorder.max_retained.max(1),
+    });
+    let gate = Gate::new();
     let mut admission_reg = MetricsRegistry::new();
     let (tx, rx) = mpsc::channel::<String>();
     let responses = AtomicU64::new(0);
@@ -675,15 +962,18 @@ pub fn serve<R: BufRead, W: Write + Send>(
             let _ = out.flush();
         });
         let queue = &queue;
-        for reg in &worker_regs {
+        let gate = &gate;
+        let store = &store;
+        for (reg, log) in worker_regs.iter().zip(&worker_logs) {
             let tx = tx.clone();
             s.spawn(move || {
                 while let Some(job) = queue.pop() {
-                    let resp = process(job, cfg, reg);
+                    let resp = process(job, cfg, reg, log, store);
                     // The receiver outlives the workers; a send can
                     // only fail if the writer died, which only happens
                     // at teardown.
                     let _ = tx.send(resp);
+                    gate.exit();
                 }
             });
         }
@@ -708,6 +998,15 @@ pub fn serve<R: BufRead, W: Write + Send>(
                 Err(msg) => {
                     summary.bad_requests += 1;
                     admission_reg.incr(CounterId::ServeErrBadRequest);
+                    synth_trace(
+                        &cfg.recorder,
+                        &admission_log,
+                        &mut admission_reg,
+                        store,
+                        seq,
+                        OUTCOME_BAD_REQUEST,
+                        None,
+                    );
                     let _ = tx.send(error_response(&id, "bad-request", &msg, None));
                 }
                 Ok(Parsed::Stats) => {
@@ -722,9 +1021,55 @@ pub fn serve<R: BufRead, W: Write + Send>(
                     write_id(&mut w, &id);
                     w.field_str("status", "ok");
                     w.field_str("cmd", "stats");
+                    w.field_u64("uptime_ms", started.elapsed().as_millis() as u64);
+                    w.begin_array_field("workers");
+                    for reg in &worker_regs {
+                        w.elem_u64(lock_unpoisoned(reg).counter(CounterId::ServeProcessed));
+                    }
+                    w.end_array();
+                    w.begin_object_field("latency");
+                    for (hid, class) in HistogramId::LATENCY_CLASSES {
+                        w.begin_object_field(class);
+                        let h = fleet.histogram(hid);
+                        w.field_u64("count", h.map_or(0, |h| h.count));
+                        for (key, q) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99)] {
+                            match h.and_then(|h| h.quantile(q)) {
+                                Some(v) => w.field_f64(key, v, 1),
+                                None => w.field_null(key),
+                            }
+                        }
+                        w.end_object();
+                    }
+                    w.end_object();
                     w.begin_object_field("fleet");
                     fleet.write_json(&mut w);
                     w.end_object();
+                    w.end_object();
+                    let _ = tx.send(w.finish());
+                }
+                Ok(Parsed::Dump) => {
+                    summary.dump_requests += 1;
+                    // Barrier: wait out every in-flight request so the
+                    // drained set is complete and (under a fault seed)
+                    // deterministic.
+                    gate.wait_idle();
+                    let (mut traces, dropped) = {
+                        let mut st = lock_unpoisoned(store);
+                        (std::mem::take(&mut st.traces), st.dropped)
+                    };
+                    traces.sort_by_key(|t| t.trace_id);
+                    let mut w = JsonWriter::new();
+                    w.begin_object();
+                    write_id(&mut w, &id);
+                    w.field_str("status", "ok");
+                    w.field_str("cmd", "dump");
+                    w.field_u64("retained", traces.len() as u64);
+                    w.field_u64("dropped", dropped);
+                    w.begin_array_field("traces");
+                    for t in &traces {
+                        t.write_json(&mut w);
+                    }
+                    w.end_array();
                     w.end_object();
                     let _ = tx.send(w.finish());
                 }
@@ -734,11 +1079,22 @@ pub fn serve<R: BufRead, W: Write + Send>(
                     if depth >= cap {
                         summary.shed += 1;
                         admission_reg.incr(CounterId::ServeErrOverloaded);
+                        let hint = retry_after_hint(cfg.retry_after_ms, depth, workers);
+                        admission_reg.observe(HistogramId::ServeLatencyOverloadedUs, 0);
+                        synth_trace(
+                            &cfg.recorder,
+                            &admission_log,
+                            &mut admission_reg,
+                            store,
+                            seq,
+                            OUTCOME_OVERLOADED,
+                            Some((EventKind::Shed, depth as u64, hint)),
+                        );
                         let _ = tx.send(error_response(
                             &id,
                             "overloaded",
                             "admission queue is full",
-                            Some(cfg.retry_after_ms),
+                            Some(hint),
                         ));
                         continue;
                     }
@@ -753,6 +1109,7 @@ pub fn serve<R: BufRead, W: Write + Send>(
                         .or(cfg.default_deadline_ms)
                         .map(|ms| CancelToken::with_deadline(Duration::from_millis(ms)));
                     summary.admitted += 1;
+                    gate.enter();
                     queue.push(*job);
                 }
             }
@@ -769,7 +1126,52 @@ pub fn serve<R: BufRead, W: Write + Send>(
     summary.responses = responses.load(Ordering::Relaxed);
     summary.write_errors = write_errors.load(Ordering::Relaxed);
     summary.fleet = fleet;
+    {
+        let mut st = lock_unpoisoned(&store);
+        summary.retained = std::mem::take(&mut st.traces);
+        summary.retained.sort_by_key(|t| t.trace_id);
+    }
     summary
+}
+
+/// Synthesize and retain a minimal trace for a request that never
+/// reached a worker (shed at admission, or unparseable): a
+/// `RequestStart`, an optional cause event, and a `RequestEnd` with
+/// the error outcome — so *every* anomalous request has a retained
+/// trace, not just the ones that ran.
+fn synth_trace(
+    rec: &RecorderConfig,
+    log: &EventLog,
+    reg: &mut MetricsRegistry,
+    store: &Mutex<RetainedStore>,
+    seq: u64,
+    outcome: u64,
+    cause: Option<(EventKind, u64, u64)>,
+) {
+    if !rec.enabled {
+        return;
+    }
+    let scope = log.scope(seq);
+    scope.record(EventKind::RequestStart, seq, 0);
+    if let Some((kind, a0, a1)) = cause {
+        scope.record(kind, a0, a1);
+    }
+    scope.record(EventKind::RequestEnd, outcome, 0);
+    let kept = retain(
+        store,
+        RetainedTrace {
+            trace_id: seq,
+            outcome,
+            reason: outcome_name(outcome),
+            latency_us: 0,
+            events: log.extract(seq),
+        },
+    );
+    reg.incr(if kept {
+        CounterId::ServeTracesRetained
+    } else {
+        CounterId::ServeTracesDropped
+    });
 }
 
 /// Convenience for tests and the differential harness: serve a batch
@@ -1083,5 +1485,236 @@ mod tests {
         let (out, _) = serve_lines(&[line], &ServeConfig::default());
         let vals = parse_all(&out);
         assert_eq!(vals[0].get("id").and_then(|s| s.as_str()), Some("req-a"));
+    }
+
+    #[test]
+    fn retry_after_hint_grows_with_queue_occupancy() {
+        // Empty-ish queues hint the base; deeper backlogs per worker
+        // hint proportionally longer.
+        assert_eq!(retry_after_hint(50, 0, 4), 50);
+        assert_eq!(retry_after_hint(50, 2, 4), 50);
+        assert_eq!(retry_after_hint(50, 8, 4), 100);
+        assert_eq!(retry_after_hint(50, 40, 4), 500);
+        let mut last = 0;
+        for depth in [1usize, 4, 16, 64, 256] {
+            let hint = retry_after_hint(50, depth, 4);
+            assert!(hint >= last, "hint must be monotone in occupancy");
+            last = hint;
+        }
+        assert!(
+            retry_after_hint(50, 256, 4) > retry_after_hint(50, 4, 4),
+            "a fuller queue must yield a strictly larger hint"
+        );
+        // Degenerate worker counts never divide by zero.
+        assert_eq!(retry_after_hint(50, 10, 0), 500);
+    }
+
+    fn recorder_cfg(faults: Option<&str>) -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            faults: faults.map(|f| FaultPlan::parse(f).unwrap_or_else(|e| panic!("{e}"))),
+            recorder: RecorderConfig {
+                enabled: true,
+                ..RecorderConfig::default()
+            },
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn recorder_off_retains_nothing_and_allocates_nothing() {
+        let lines: Vec<String> = (0..4).map(|i| req(i, "main = add 1 2;")).collect();
+        let (out, summary) = serve_lines(&lines, &ServeConfig::default());
+        assert_eq!(out.len(), 4);
+        assert!(summary.retained.is_empty());
+        assert_eq!(summary.traces_retained(), 0);
+        assert_eq!(summary.traces_dropped(), 0);
+        // The off recorder is literally no heap: the same handle shape
+        // every request pays one branch on.
+        assert!(EventLog::off().allocates_nothing());
+    }
+
+    #[test]
+    fn fault_runs_retain_deterministic_traces_naming_the_failing_stage() {
+        let run = || {
+            let cfg = recorder_cfg(Some("seed=7;elaborate=panic"));
+            let lines: Vec<String> = (0..10).map(|i| req(i, "main = add 1 2;")).collect();
+            let (_, summary) = serve_lines(&lines, &cfg);
+            summary
+        };
+        let a = run();
+        assert_eq!(a.internal(), 10);
+        assert_eq!(a.traces_retained(), 10, "every errored request is kept");
+        assert_eq!(a.retained.len(), 10);
+        for t in &a.retained {
+            assert_eq!(t.outcome, tc_trace::events::OUTCOME_INTERNAL);
+            assert_eq!(t.reason, "internal");
+            let fault = t
+                .events
+                .iter()
+                .find(|e| e.kind == EventKind::FaultInjected)
+                .unwrap_or_else(|| panic!("no fault event in trace {}", t.trace_id));
+            assert_eq!(
+                fault.arg0,
+                tc_trace::Stage::Elaborate as u64,
+                "the retained trace must name the failing stage"
+            );
+            assert!(
+                t.events.iter().any(|e| {
+                    e.kind == EventKind::StageStart && e.arg0 == tc_trace::Stage::Elaborate as u64
+                }),
+                "the failing stage started but never ended"
+            );
+        }
+        // Identical seeded runs retain the identical trace set.
+        let b = run();
+        let shape = |s: &ServeSummary| {
+            s.retained
+                .iter()
+                .map(|t| {
+                    let kinds: Vec<&str> = t.events.iter().map(|e| e.kind.name()).collect();
+                    (t.trace_id, t.outcome, t.reason, kinds)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(shape(&a), shape(&b), "retained set must be deterministic");
+    }
+
+    #[test]
+    fn dump_command_drains_retained_traces_as_one_valid_json_line() {
+        let cfg = recorder_cfg(Some("seed=3;elaborate=panic"));
+        let mut lines: Vec<String> = (1..=3).map(|i| req(i, "main = add 1 2;")).collect();
+        lines.push("{\"id\": 99, \"cmd\": \"dump\"}".to_string());
+        let (out, summary) = serve_lines(&lines, &cfg);
+        assert_eq!(out.len(), 4);
+        assert_eq!(summary.dump_requests, 1);
+        assert!(
+            summary.retained.is_empty(),
+            "dump drains the retained store"
+        );
+        let vals = parse_all(&out); // parse_all validates every line
+        let dump = by_id(&vals, 99);
+        assert_eq!(dump.get("cmd").and_then(|s| s.as_str()), Some("dump"));
+        // The dump is a barrier, so all three panicked requests are
+        // already retained when it answers.
+        assert_eq!(dump.get("retained").and_then(|n| n.as_u64()), Some(3));
+        let traces = dump
+            .get("traces")
+            .and_then(|t| t.as_array())
+            .unwrap_or_else(|| panic!("traces array: {out:?}"));
+        assert_eq!(traces.len(), 3);
+        for t in traces {
+            assert_eq!(t.get("outcome").and_then(|s| s.as_str()), Some("internal"));
+            let events = t
+                .get("events")
+                .and_then(|e| e.as_array())
+                .unwrap_or_else(|| panic!("events array"));
+            assert!(events.iter().any(|e| {
+                e.get("kind").and_then(|k| k.as_str()) == Some("fault-injected")
+                    && e.get("stage").and_then(|s| s.as_str()) == Some("elaborate")
+            }));
+        }
+    }
+
+    #[test]
+    fn shed_requests_get_synthesized_traces_and_adaptive_hints() {
+        let cfg = ServeConfig {
+            workers: 1,
+            queue_capacity: 8,
+            recorder: RecorderConfig {
+                enabled: true,
+                ..RecorderConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+        let lines: Vec<String> = (0..60)
+            .map(|i| req(i, "main = length (enumFromTo 1 400);"))
+            .collect();
+        let (out, summary) = serve_lines(&lines, &cfg);
+        assert_eq!(out.len(), 60);
+        if summary.shed == 0 {
+            return; // machine drained too fast to overload; nothing to check
+        }
+        let vals = parse_all(&out);
+        let shed = vals
+            .iter()
+            .find(|v| v.get("error").and_then(|e| e.as_str()) == Some("overloaded"))
+            .unwrap_or_else(|| panic!("no overloaded response"));
+        // Shedding only happens at full occupancy, so the adaptive
+        // hint is the base scaled by the whole backlog.
+        assert_eq!(
+            shed.get("retry_after_ms").and_then(|n| n.as_u64()),
+            Some(retry_after_hint(cfg.retry_after_ms, 8, 1))
+        );
+        let overloaded: Vec<_> = summary
+            .retained
+            .iter()
+            .filter(|t| t.outcome == tc_trace::events::OUTCOME_OVERLOADED)
+            .collect();
+        assert_eq!(overloaded.len() as u64, summary.shed);
+        for t in overloaded {
+            assert!(
+                t.events.iter().any(|e| e.kind == EventKind::Shed),
+                "synthesized shed trace must carry the shed event"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_reports_uptime_worker_counts_and_latency_quantiles() {
+        let cfg = recorder_cfg(None);
+        let lines = vec![
+            req(1, "main = add 1 2;"),
+            req(2, "main = member 3 (enumFromTo 1 5);"),
+            "{\"id\": 90, \"cmd\": \"dump\"}".to_string(), // barrier
+            "{\"id\": 91, \"cmd\": \"stats\"}".to_string(),
+        ];
+        let (out, _) = serve_lines(&lines, &cfg);
+        let vals = parse_all(&out);
+        let stats = by_id(&vals, 91);
+        assert!(stats.get("uptime_ms").and_then(|n| n.as_u64()).is_some());
+        let workers = stats
+            .get("workers")
+            .and_then(|w| w.as_array())
+            .unwrap_or_else(|| panic!("workers array: {out:?}"));
+        assert_eq!(workers.len(), cfg.workers);
+        let total: u64 = workers.iter().filter_map(|w| w.as_u64()).sum();
+        // The dump barrier ran first, so both requests are counted.
+        assert_eq!(total, 2);
+        let ok = stats
+            .get("latency")
+            .and_then(|l| l.get("ok"))
+            .unwrap_or_else(|| panic!("latency.ok: {out:?}"));
+        assert_eq!(ok.get("count").and_then(|n| n.as_u64()), Some(2));
+        assert!(ok.get("p50").and_then(|v| v.as_f64()).is_some());
+        assert!(ok.get("p99").and_then(|v| v.as_f64()).is_some());
+    }
+
+    #[test]
+    fn head_sampling_and_latency_threshold_retain_ok_traces() {
+        let mut cfg = recorder_cfg(None);
+        cfg.recorder.sample_every = 2;
+        let lines: Vec<String> = (1..=4).map(|i| req(i, "main = add 1 2;")).collect();
+        let (_, summary) = serve_lines(&lines, &cfg);
+        let ids: Vec<u64> = summary.retained.iter().map(|t| t.trace_id).collect();
+        assert_eq!(ids, vec![2, 4], "every 2nd request is head-sampled");
+        for t in &summary.retained {
+            assert_eq!(t.reason, "sampled");
+            // A sampled ok trace carries real pipeline events.
+            assert!(t.events.iter().any(|e| e.kind == EventKind::StageStart));
+            assert!(
+                t.events
+                    .iter()
+                    .any(|e| e.kind == EventKind::RequestEnd
+                        && e.arg0 == tc_trace::events::OUTCOME_OK)
+            );
+        }
+
+        let mut cfg = recorder_cfg(None);
+        cfg.recorder.latency_threshold_us = 0; // everything is "slow"
+        let lines = vec![req(1, "main = add 1 2;")];
+        let (_, summary) = serve_lines(&lines, &cfg);
+        assert_eq!(summary.retained.len(), 1);
+        assert_eq!(summary.retained[0].reason, "slow");
     }
 }

@@ -41,11 +41,13 @@
 
 pub mod cancel;
 pub mod chrome;
+pub mod events;
 pub mod json;
 pub mod metrics;
 
 pub use cancel::CancelToken;
 pub use chrome::{chrome_trace_json, SpanEvent};
+pub use events::{Event, EventKind, EventLog, EventScope};
 pub use json::JsonWriter;
 pub use metrics::{
     bucket_index, bucket_lo, CounterId, GaugeId, Histogram, HistogramId, MetricsRegistry,

@@ -72,6 +72,13 @@ pub enum CounterId {
     ServeDegradedCache,
     /// Faults injected by the deterministic fault plan.
     ServeFaultsInjected,
+    /// Requests fully processed by this worker (per-worker registries
+    /// each count their own; the fleet merge sums them).
+    ServeProcessed,
+    /// Flight-recorder traces retained by the tail sampler.
+    ServeTracesRetained,
+    /// Retained traces discarded because the retention store was full.
+    ServeTracesDropped,
     /// Instances examined by the coherence checker.
     CoherenceInstancesChecked,
     /// Instance-head pairs put through pairwise unification.
@@ -83,7 +90,7 @@ pub enum CounterId {
 }
 
 impl CounterId {
-    pub const ALL: [CounterId; 26] = [
+    pub const ALL: [CounterId; 29] = [
         CounterId::ResolveCacheHits,
         CounterId::ResolveCacheMisses,
         CounterId::ResolveCacheEvictions,
@@ -106,6 +113,9 @@ impl CounterId {
         CounterId::ServeDegradedTraces,
         CounterId::ServeDegradedCache,
         CounterId::ServeFaultsInjected,
+        CounterId::ServeProcessed,
+        CounterId::ServeTracesRetained,
+        CounterId::ServeTracesDropped,
         CounterId::CoherenceInstancesChecked,
         CounterId::CoherencePairsUnified,
         CounterId::CoherenceLawsRun,
@@ -136,6 +146,9 @@ impl CounterId {
             CounterId::ServeDegradedTraces => "serve.degraded.traces",
             CounterId::ServeDegradedCache => "serve.degraded.cache",
             CounterId::ServeFaultsInjected => "serve.faults_injected",
+            CounterId::ServeProcessed => "serve.processed",
+            CounterId::ServeTracesRetained => "serve.traces.retained",
+            CounterId::ServeTracesDropped => "serve.traces.dropped",
             CounterId::CoherenceInstancesChecked => "coherence.instances_checked",
             CounterId::CoherencePairsUnified => "coherence.pairs_unified",
             CounterId::CoherenceLawsRun => "coherence.laws_run",
@@ -163,8 +176,10 @@ impl CounterId {
             | CounterId::ServeErrOverloaded
             | CounterId::ServeErrBadRequest
             | CounterId::ServeDegradedTraces
-            | CounterId::ServeDegradedCache => "requests",
+            | CounterId::ServeDegradedCache
+            | CounterId::ServeProcessed => "requests",
             CounterId::ServeFaultsInjected => "faults",
+            CounterId::ServeTracesRetained | CounterId::ServeTracesDropped => "traces",
             CounterId::CoherenceInstancesChecked => "instances",
             CounterId::CoherencePairsUnified => "pairs",
             CounterId::CoherenceLawsRun | CounterId::CoherenceLawsFailed => "laws",
@@ -212,15 +227,36 @@ pub enum HistogramId {
     ServeLatencyUs,
     /// Serve queue occupancy sampled at each admission.
     ServeQueueDepth,
+    /// Latency of requests answered `ok` (including compile errors).
+    ServeLatencyOkUs,
+    /// Latency of requests that panicked (`error:internal`).
+    ServeLatencyInternalUs,
+    /// Latency of requests killed by their deadline (`error:deadline`).
+    ServeLatencyDeadlineUs,
+    /// Latency of requests shed at admission (`error:overloaded`).
+    ServeLatencyOverloadedUs,
 }
 
 impl HistogramId {
-    pub const ALL: [HistogramId; 5] = [
+    pub const ALL: [HistogramId; 9] = [
         HistogramId::ResolveGoalDepth,
         HistogramId::ShareLetSize,
         HistogramId::EvalBindingFuel,
         HistogramId::ServeLatencyUs,
         HistogramId::ServeQueueDepth,
+        HistogramId::ServeLatencyOkUs,
+        HistogramId::ServeLatencyInternalUs,
+        HistogramId::ServeLatencyDeadlineUs,
+        HistogramId::ServeLatencyOverloadedUs,
+    ];
+
+    /// The per-outcome-class latency histograms, paired with the class
+    /// label used in `stats` output.
+    pub const LATENCY_CLASSES: [(HistogramId, &'static str); 4] = [
+        (HistogramId::ServeLatencyOkUs, "ok"),
+        (HistogramId::ServeLatencyInternalUs, "internal"),
+        (HistogramId::ServeLatencyDeadlineUs, "deadline"),
+        (HistogramId::ServeLatencyOverloadedUs, "overloaded"),
     ];
 
     pub fn name(self) -> &'static str {
@@ -230,6 +266,10 @@ impl HistogramId {
             HistogramId::EvalBindingFuel => "eval.binding_fuel",
             HistogramId::ServeLatencyUs => "serve.latency_us",
             HistogramId::ServeQueueDepth => "serve.queue_depth",
+            HistogramId::ServeLatencyOkUs => "serve.latency.ok_us",
+            HistogramId::ServeLatencyInternalUs => "serve.latency.internal_us",
+            HistogramId::ServeLatencyDeadlineUs => "serve.latency.deadline_us",
+            HistogramId::ServeLatencyOverloadedUs => "serve.latency.overloaded_us",
         }
     }
 
@@ -238,7 +278,11 @@ impl HistogramId {
             HistogramId::ResolveGoalDepth => "depth",
             HistogramId::ShareLetSize => "bindings",
             HistogramId::EvalBindingFuel => "fuel",
-            HistogramId::ServeLatencyUs => "us",
+            HistogramId::ServeLatencyUs
+            | HistogramId::ServeLatencyOkUs
+            | HistogramId::ServeLatencyInternalUs
+            | HistogramId::ServeLatencyDeadlineUs
+            | HistogramId::ServeLatencyOverloadedUs => "us",
             HistogramId::ServeQueueDepth => "requests",
         }
     }
@@ -303,6 +347,39 @@ impl Histogram {
     /// Lower bound of the highest nonempty bucket (`None` when empty).
     pub fn max_bucket_lo(&self) -> Option<u64> {
         self.buckets.iter().rposition(|&c| c > 0).map(bucket_lo)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) of the observed distribution,
+    /// estimated by linear interpolation within the containing log2
+    /// bucket. Exact when the containing bucket has a single
+    /// representable value (buckets 0 and 1); `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut below = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let through = below.saturating_add(c);
+            if through as f64 >= target {
+                let lo = bucket_lo(i) as f64;
+                // Inclusive upper bound: 2^i - 1, via u128 so bucket 64
+                // (which tops out at u64::MAX) does not overflow.
+                let hi = if i == 0 {
+                    0.0
+                } else {
+                    ((u128::from(bucket_lo(i)) * 2) - 1) as f64
+                };
+                let pos = ((target - below as f64) / c as f64).clamp(0.0, 1.0);
+                return Some(lo + (hi - lo) * pos);
+            }
+            below = through;
+        }
+        self.max_bucket_lo().map(|lo| lo as f64)
     }
 }
 
@@ -409,8 +486,10 @@ impl MetricsRegistry {
     }
 
     /// Fold another registry's counts into this one: counters add,
-    /// gauges take the other's value when nonzero, histograms merge
-    /// bucket-wise. No-op when either side is disabled.
+    /// gauges take the elementwise max, histograms merge bucket-wise.
+    /// Every operation is commutative and associative, so fleet-wide
+    /// merges give the same answer in any order (property-tested
+    /// below). No-op when either side is disabled.
     pub fn merge(&mut self, other: &MetricsRegistry) {
         let Some(theirs) = other.data.as_ref() else {
             return;
@@ -422,9 +501,7 @@ impl MetricsRegistry {
             *slot = slot.saturating_add(*v);
         }
         for (slot, v) in ours.gauges.iter_mut().zip(theirs.gauges.iter()) {
-            if *v != 0 {
-                *slot = *v;
-            }
+            *slot = (*slot).max(*v);
         }
         for (h, o) in ours.histograms.iter_mut().zip(theirs.histograms.iter()) {
             for (b, c) in h.buckets.iter_mut().zip(o.buckets.iter()) {
@@ -464,9 +541,11 @@ impl MetricsRegistry {
         for &id in &HistogramId::ALL {
             let cell = match self.histogram(id) {
                 Some(h) if h.count > 0 => format!(
-                    "n={} mean={:.1} max<{}",
+                    "n={} mean={:.1} p50={:.1} p99={:.1} max<{}",
                     h.count,
                     h.mean(),
+                    h.quantile(0.5).unwrap_or(0.0),
+                    h.quantile(0.99).unwrap_or(0.0),
                     h.max_bucket_lo()
                         .map_or(0u128, |lo| u128::from(lo).saturating_mul(2))
                 ),
@@ -503,6 +582,12 @@ impl MetricsRegistry {
             let (count, sum) = self.histogram(id).map_or((0, 0), |h| (h.count, h.sum));
             w.field_u64("count", count);
             w.field_u64("sum", sum);
+            for (label, q) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99)] {
+                match self.histogram(id).and_then(|h| h.quantile(q)) {
+                    Some(v) => w.field_f64(label, v, 1),
+                    None => w.field_null(label),
+                }
+            }
             w.begin_object_field("buckets");
             if let Some(h) = self.histogram(id) {
                 for (i, &c) in h.buckets.iter().enumerate() {
@@ -621,6 +706,120 @@ mod tests {
         assert!(off.allocates_nothing());
         a.merge(&MetricsRegistry::off());
         assert_eq!(a.counter(CounterId::EvalForces), 7);
+    }
+
+    #[test]
+    fn quantile_is_exact_when_mass_sits_in_one_single_value_bucket() {
+        // Buckets 0 ([0,0]) and 1 ([1,1]) each hold a single
+        // representable value, so any quantile is exact.
+        let mut m = MetricsRegistry::new();
+        for _ in 0..17 {
+            m.observe(HistogramId::ServeLatencyUs, 1);
+        }
+        let h = m.histogram(HistogramId::ServeLatencyUs).unwrap();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(1.0), "q={q}");
+        }
+        let mut z = MetricsRegistry::new();
+        z.observe(HistogramId::ServeQueueDepth, 0);
+        let h = z.histogram(HistogramId::ServeQueueDepth).unwrap();
+        assert_eq!(h.quantile(0.5), Some(0.0));
+    }
+
+    #[test]
+    fn quantile_interpolates_within_a_bucket_and_ranks_across_buckets() {
+        // 10 observations in bucket 3 ([4,7]): p50 lands mid-bucket.
+        let mut m = MetricsRegistry::new();
+        for _ in 0..10 {
+            m.observe(HistogramId::EvalBindingFuel, 4);
+        }
+        let h = *m.histogram(HistogramId::EvalBindingFuel).unwrap();
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((4.0..=7.0).contains(&p50), "{p50}");
+        assert!((p50 - 5.5).abs() < 1e-9, "midpoint of [4,7]: {p50}");
+        // Across buckets: 90 observations of 1, 10 of 1000 — p50 is
+        // exactly 1, p99 lands in 1000's bucket [512,1023].
+        let mut m = MetricsRegistry::new();
+        for _ in 0..90 {
+            m.observe(HistogramId::ServeLatencyUs, 1);
+        }
+        for _ in 0..10 {
+            m.observe(HistogramId::ServeLatencyUs, 1000);
+        }
+        let h = *m.histogram(HistogramId::ServeLatencyUs).unwrap();
+        assert_eq!(h.quantile(0.5), Some(1.0));
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((512.0..=1023.0).contains(&p99), "{p99}");
+        // Monotone in q.
+        let mut last = f64::MIN;
+        for i in 0..=20 {
+            let v = h.quantile(i as f64 / 20.0).unwrap();
+            assert!(v >= last, "quantile must be monotone: {v} < {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_none() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), None);
+        // A disabled registry has no histogram at all.
+        let m = MetricsRegistry::off();
+        assert!(m.histogram(HistogramId::ServeLatencyUs).is_none());
+    }
+
+    /// xorshift64* — deterministic, dependency-free randomness for the
+    /// merge property tests.
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn random_registry(seed: u64) -> MetricsRegistry {
+        let mut s = seed.max(1);
+        let mut m = MetricsRegistry::new();
+        for &id in &CounterId::ALL {
+            m.add(id, xorshift(&mut s) >> 32);
+        }
+        for &id in &GaugeId::ALL {
+            m.set_gauge(id, xorshift(&mut s) >> 40);
+        }
+        for &id in &HistogramId::ALL {
+            for _ in 0..(xorshift(&mut s) % 8) {
+                m.observe(id, xorshift(&mut s) >> (xorshift(&mut s) % 60));
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative() {
+        // 32 random triples: a ⊔ b == b ⊔ a and (a ⊔ b) ⊔ c == a ⊔ (b ⊔ c)
+        // across counters (saturating add), gauges (max), and
+        // histograms (bucket-wise saturating add).
+        for trial in 0..32u64 {
+            let a = random_registry(trial * 3 + 1);
+            let b = random_registry(trial * 3 + 2);
+            let c = random_registry(trial * 3 + 3);
+
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            assert_eq!(ab, ba, "merge must be commutative (trial {trial})");
+
+            let mut ab_c = ab.clone();
+            ab_c.merge(&c);
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut a_bc = a.clone();
+            a_bc.merge(&bc);
+            assert_eq!(ab_c, a_bc, "merge must be associative (trial {trial})");
+        }
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //! cargo run --example run -- --metrics program.mh  # metric counters/histograms (stderr)
 //! cargo run --example run -- --chrome-trace=t.json program.mh  # Perfetto-loadable trace
 //! cargo run --example run -- serve --workers=4     # JSONL batch server on stdin/stdout
+//! cargo run --example run -- serve --record --faults=seed=7;elaborate=panic%20
+//! cargo run --example run -- report dump.jsonl     # aggregate a dumped event log
+//! cargo run --example run -- report dump.jsonl --chrome=t.json  # + Perfetto trace
 //! ```
 //!
 //! Exit codes: 0 success, 1 compile errors, 2 usage/IO errors or
@@ -169,12 +172,45 @@ const SERVE_FLAGS: &[FlagSpec] = &[
         arg: Some("<spec>"),
         help: "deterministic fault injection, e.g. seed=42;elaborate=panic%30",
     },
+    FlagSpec {
+        name: "--record",
+        arg: None,
+        help: "enable the flight recorder (tail-sampled traces; drain with {\"cmd\":\"dump\"})",
+    },
+    FlagSpec {
+        name: "--record-capacity",
+        arg: Some("<n>"),
+        help: "per-worker event ring capacity (implies --record; default 4096)",
+    },
+    FlagSpec {
+        name: "--latency-threshold-us",
+        arg: Some("<us>"),
+        help: "retain any request slower than this (implies --record)",
+    },
+    FlagSpec {
+        name: "--sample-every",
+        arg: Some("<n>"),
+        help: "head-sample every Nth request's trace (implies --record; 0 = off)",
+    },
+    FlagSpec {
+        name: "--max-retained",
+        arg: Some("<n>"),
+        help: "retained-trace store cap; overflow counts as dropped (default 256)",
+    },
 ];
+
+/// Flags understood by the `report` subcommand.
+const REPORT_FLAGS: &[FlagSpec] = &[FlagSpec {
+    name: "--chrome",
+    arg: Some("<file>"),
+    help: "also write the traces as Chrome trace-event JSON (Perfetto-loadable)",
+}];
 
 fn usage() -> String {
     let mut out = String::from(
         "usage: run [options] [program.mh]   (reads stdin when no file is given)\n\
-         \x20      run serve [serve options]   (JSONL requests on stdin, responses on stdout)\n\noptions:\n",
+         \x20      run serve [serve options]   (JSONL requests on stdin, responses on stdout)\n\
+         \x20      run report <dump.jsonl> [report options]   (aggregate a dumped event log)\n\noptions:\n",
     );
     for f in FLAGS {
         let left = match f.arg {
@@ -185,6 +221,14 @@ fn usage() -> String {
     }
     out.push_str("\nserve options:\n");
     for f in SERVE_FLAGS {
+        let left = match f.arg {
+            Some(a) => format!("{}={}", f.name, a),
+            None => f.name.to_string(),
+        };
+        out.push_str(&format!("  {left:<36} {}\n", f.help));
+    }
+    out.push_str("\nreport options:\n");
+    for f in REPORT_FLAGS {
         let left = match f.arg {
             Some(a) => format!("{}={}", f.name, a),
             None => f.name.to_string(),
@@ -232,10 +276,10 @@ fn emit(text: &str) -> bool {
         .is_ok()
 }
 
-/// Is `s` shaped like a diagnostic code (`E0420`, `L0008`, ...)?
+/// Is `s` shaped like a diagnostic code (`E0420`, `L0008`, `S0442`, ...)?
 fn looks_like_code(s: &str) -> bool {
     s.len() == 5
-        && (s.starts_with('E') || s.starts_with('L'))
+        && (s.starts_with('E') || s.starts_with('L') || s.starts_with('S'))
         && s[1..].chars().all(|c| c.is_ascii_digit())
 }
 
@@ -314,6 +358,33 @@ const ERROR_CODES: &[(&str, &str, &str)] = &[
         "compile-cancelled",
         "the pipeline hit its deadline and stopped at a stage boundary \
          before finishing compilation",
+    ),
+    (
+        "S0440",
+        "serve-internal",
+        "a request panicked inside the pipeline; isolation answered \
+         `error:\"internal\"` and (with the flight recorder on) retained the \
+         trace, whose events name the failing stage",
+    ),
+    (
+        "S0441",
+        "serve-deadline",
+        "a request exceeded its deadline (in the queue or mid-stage) and \
+         answered `error:\"deadline\"`; the retained trace's `cancelled` \
+         event names the stage where the deadline tripped",
+    ),
+    (
+        "S0442",
+        "serve-overloaded",
+        "admission shed the request because the queue was full; the \
+         `retry_after_ms` hint scales with the backlog each worker must \
+         clear, and the retained trace carries a `shed` event",
+    ),
+    (
+        "S0443",
+        "serve-bad-request",
+        "the request line was not a valid request object (malformed JSON, \
+         missing `program`, or a bad field type); nothing was compiled",
     ),
 ];
 
@@ -428,6 +499,43 @@ fn serve_main(args: &[String]) -> ExitCode {
                     }
                 }
             }
+            "--record" => cfg.recorder.enabled = true,
+            _ if arg.starts_with("--record-capacity=") => {
+                match parse_num("--record-capacity", &arg["--record-capacity=".len()..]) {
+                    Ok(n) => {
+                        cfg.recorder.enabled = true;
+                        cfg.recorder.capacity = (n as usize).max(1);
+                    }
+                    Err(code) => return code,
+                }
+            }
+            _ if arg.starts_with("--latency-threshold-us=") => {
+                match parse_num(
+                    "--latency-threshold-us",
+                    &arg["--latency-threshold-us=".len()..],
+                ) {
+                    Ok(n) => {
+                        cfg.recorder.enabled = true;
+                        cfg.recorder.latency_threshold_us = n;
+                    }
+                    Err(code) => return code,
+                }
+            }
+            _ if arg.starts_with("--sample-every=") => {
+                match parse_num("--sample-every", &arg["--sample-every=".len()..]) {
+                    Ok(n) => {
+                        cfg.recorder.enabled = true;
+                        cfg.recorder.sample_every = n;
+                    }
+                    Err(code) => return code,
+                }
+            }
+            _ if arg.starts_with("--max-retained=") => {
+                match parse_num("--max-retained", &arg["--max-retained=".len()..]) {
+                    Ok(n) => cfg.recorder.max_retained = (n as usize).max(1),
+                    Err(code) => return code,
+                }
+            }
             _ => {
                 eprintln!("error: unknown serve option `{arg}`");
                 eprint!("{}", usage());
@@ -448,6 +556,14 @@ fn serve_main(args: &[String]) -> ExitCode {
         summary.bad_requests,
         summary.responses,
     );
+    if cfg.recorder.enabled {
+        eprintln!(
+            "serve: flight recorder retained {} traces ({} dropped, {} still undumped)",
+            summary.traces_retained(),
+            summary.traces_dropped(),
+            summary.retained.len(),
+        );
+    }
     if summary.write_errors > 0 {
         ExitCode::FAILURE
     } else {
@@ -455,10 +571,371 @@ fn serve_main(args: &[String]) -> ExitCode {
     }
 }
 
+/// One trace pulled back out of a dump file.
+struct ReportTrace {
+    trace_id: u64,
+    outcome: String,
+    reason: String,
+    latency_us: u64,
+    events: Vec<typeclasses::Event>,
+}
+
+/// The [`typeclasses::Stage`] index for a stage name in a dumped
+/// event (0 when unrecognized — a malformed line, not a crash).
+fn stage_index(name: &str) -> u64 {
+    typeclasses::Stage::ALL
+        .iter()
+        .position(|s| s.name() == name)
+        .unwrap_or(0) as u64
+}
+
+/// Rebuild one in-memory [`typeclasses::Event`] from its dumped JSON
+/// object, inverting the self-describing field names back into the
+/// static `arg0`/`arg1` encoding.
+fn event_from_json(
+    trace_id: u64,
+    v: &typeclasses::trace::json::Value,
+) -> Option<typeclasses::Event> {
+    use typeclasses::EventKind;
+    let ts_ns = v.get("ts_ns")?.as_u64()?;
+    let kind = v.get("kind")?.as_str()?.to_string();
+    let num = |k: &str| v.get(k).and_then(|x| x.as_u64()).unwrap_or(0);
+    let txt = |k: &str| v.get(k).and_then(|x| x.as_str()).unwrap_or("").to_string();
+    let (kind, arg0, arg1) = match kind.as_str() {
+        "request-start" => (EventKind::RequestStart, num("seq"), 0),
+        "request-end" => (
+            EventKind::RequestEnd,
+            outcome_code(&txt("outcome")),
+            num("latency_us"),
+        ),
+        "stage-start" => (EventKind::StageStart, stage_index(&txt("stage")), 0),
+        "stage-end" => (
+            EventKind::StageEnd,
+            stage_index(&txt("stage")),
+            num("diags"),
+        ),
+        "goal" => (
+            EventKind::Goal,
+            num("depth"),
+            match txt("memo").as_str() {
+                "miss" => 0,
+                "hit" => 1,
+                _ => 2,
+            },
+        ),
+        "cache-evict" => (EventKind::CacheEvict, num("evicted"), 0),
+        "eval-checkpoint" => (EventKind::EvalCheckpoint, num("fuel_used"), num("depth")),
+        "cancelled" => (EventKind::Cancelled, stage_index(&txt("stage")), 0),
+        "fault-injected" => (
+            EventKind::FaultInjected,
+            stage_index(&txt("stage")),
+            match txt("action").as_str() {
+                "panic" => 0,
+                "delay" => 1,
+                _ => 2,
+            },
+        ),
+        "shed" => (EventKind::Shed, num("queue_depth"), num("retry_after_ms")),
+        _ => return None,
+    };
+    Some(typeclasses::Event {
+        trace_id,
+        ts_ns,
+        kind,
+        arg0,
+        arg1,
+    })
+}
+
+/// The outcome-class code for a dumped outcome name.
+fn outcome_code(name: &str) -> u64 {
+    use typeclasses::trace::events as ev;
+    match name {
+        "internal" => ev::OUTCOME_INTERNAL,
+        "deadline" => ev::OUTCOME_DEADLINE,
+        "overloaded" => ev::OUTCOME_OVERLOADED,
+        "bad-request" => ev::OUTCOME_BAD_REQUEST,
+        _ => ev::OUTCOME_OK,
+    }
+}
+
+/// Exact nearest-rank quantile over a sorted sample.
+fn pct(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// The `report` subcommand: aggregate a dumped event-log file (the
+/// serve session's output, or just its `dump` response lines) into a
+/// latency / error / cache-behavior report, optionally also writing
+/// the traces as a Chrome trace-event document.
+fn report_main(args: &[String]) -> ExitCode {
+    use typeclasses::trace::events::{chrome_spans, traces_chrome_json};
+    use typeclasses::trace::json;
+    use typeclasses::EventKind;
+
+    let mut path: Option<String> = None;
+    let mut chrome_path: Option<String> = None;
+    for arg in args {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with("--chrome=") => {
+                chrome_path = Some(arg["--chrome=".len()..].to_string());
+            }
+            _ if arg.starts_with('-') => {
+                eprintln!("error: unknown report option `{arg}`");
+                eprint!("{}", usage());
+                return ExitCode::from(2);
+            }
+            _ => {
+                if path.is_some() {
+                    eprintln!("error: report takes exactly one dump file");
+                    return ExitCode::from(2);
+                }
+                path = Some(arg.clone());
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("error: report needs a dump file (JSONL from a `serve --record` session)");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut traces: Vec<ReportTrace> = Vec::new();
+    let mut dump_lines = 0u64;
+    let mut other_lines = 0u64;
+    let mut dropped = 0u64;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Ok(v) = json::parse(line) else {
+            other_lines += 1;
+            continue;
+        };
+        let objs: Vec<&json::Value> = if let Some(arr) = v.get("traces").and_then(|t| t.as_array())
+        {
+            // A `dump` response line: every retained trace at once.
+            dump_lines += 1;
+            dropped += v.get("dropped").and_then(|n| n.as_u64()).unwrap_or(0);
+            arr.iter().collect()
+        } else if v.get("trace_id").is_some() && v.get("events").is_some() {
+            // A bare trace object (one per line).
+            vec![&v]
+        } else {
+            other_lines += 1;
+            continue;
+        };
+        for t in objs {
+            let Some(trace_id) = t.get("trace_id").and_then(|n| n.as_u64()) else {
+                continue;
+            };
+            let events = t
+                .get("events")
+                .and_then(|e| e.as_array())
+                .map(|evs| {
+                    evs.iter()
+                        .filter_map(|e| event_from_json(trace_id, e))
+                        .collect()
+                })
+                .unwrap_or_default();
+            traces.push(ReportTrace {
+                trace_id,
+                outcome: t
+                    .get("outcome")
+                    .and_then(|s| s.as_str())
+                    .unwrap_or("ok")
+                    .to_string(),
+                reason: t
+                    .get("reason")
+                    .and_then(|s| s.as_str())
+                    .unwrap_or("?")
+                    .to_string(),
+                latency_us: t.get("latency_us").and_then(|n| n.as_u64()).unwrap_or(0),
+                events,
+            });
+        }
+    }
+    if traces.is_empty() && dump_lines == 0 {
+        eprintln!("error: {path} contains no dump responses or trace objects");
+        return ExitCode::from(2);
+    }
+    traces.sort_by_key(|t| t.trace_id);
+
+    use std::collections::BTreeMap;
+    let mut report = format!(
+        "flight report: {path}\n  {} trace(s) from {} dump line(s) ({} dropped at the server, {} other line(s) ignored)\n",
+        traces.len(),
+        dump_lines,
+        dropped,
+        other_lines,
+    );
+
+    // Latency per outcome class, exact quantiles over the retained
+    // sample (the server's `stats` reports the streaming-histogram
+    // view of the same distribution).
+    let mut by_outcome: BTreeMap<&str, Vec<u64>> = BTreeMap::new();
+    let mut by_reason: BTreeMap<&str, u64> = BTreeMap::new();
+    for t in &traces {
+        by_outcome.entry(&t.outcome).or_default().push(t.latency_us);
+        *by_reason.entry(&t.reason).or_default() += 1;
+    }
+    report.push_str("\nlatency_us by outcome:\n");
+    report.push_str(&format!(
+        "  {:<12} {:>6} {:>8} {:>8} {:>8} {:>8}\n",
+        "outcome", "count", "p50", "p90", "p99", "max"
+    ));
+    for (outcome, mut lats) in by_outcome {
+        lats.sort_unstable();
+        report.push_str(&format!(
+            "  {:<12} {:>6} {:>8} {:>8} {:>8} {:>8}\n",
+            outcome,
+            lats.len(),
+            pct(&lats, 0.5),
+            pct(&lats, 0.9),
+            pct(&lats, 0.99),
+            lats.last().copied().unwrap_or(0),
+        ));
+    }
+    report.push_str("\nretention reasons:\n");
+    for (reason, n) in by_reason {
+        report.push_str(&format!("  {reason:<12} {n:>6}\n"));
+    }
+
+    // Stage behavior: completed spans with mean duration, plus the
+    // stages that never finished (panics, deadlines).
+    let mut stage_spans: BTreeMap<String, (u64, u64)> = BTreeMap::new(); // (count, total_ns)
+    let mut unfinished: BTreeMap<String, u64> = BTreeMap::new();
+    let mut goals = 0u64;
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    let mut evictions = 0u64;
+    let mut evicted_entries = 0u64;
+    let mut faults: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut cancelled: BTreeMap<String, u64> = BTreeMap::new();
+    let mut sheds = 0u64;
+    for t in &traces {
+        for s in chrome_spans(&t.events) {
+            if s.cat != "stage" {
+                continue;
+            }
+            match s.name.strip_suffix(" (unfinished)") {
+                Some(stage) => *unfinished.entry(stage.to_string()).or_default() += 1,
+                None => {
+                    let e = stage_spans.entry(s.name.clone()).or_default();
+                    e.0 += 1;
+                    e.1 += s.duration_ns;
+                }
+            }
+        }
+        for e in &t.events {
+            match e.kind {
+                EventKind::Goal => {
+                    goals += 1;
+                    match e.arg1 {
+                        0 => misses += 1,
+                        1 => hits += 1,
+                        _ => {}
+                    }
+                }
+                EventKind::CacheEvict => {
+                    evictions += 1;
+                    evicted_entries += e.arg0;
+                }
+                EventKind::FaultInjected => {
+                    let action = match e.arg1 {
+                        0 => "panic",
+                        1 => "delay",
+                        _ => "budget",
+                    };
+                    *faults.entry(action).or_default() += 1;
+                }
+                EventKind::Cancelled => {
+                    let stage = typeclasses::Stage::ALL
+                        .get(e.arg0 as usize)
+                        .map_or("?", |s| s.name());
+                    *cancelled.entry(stage.to_string()).or_default() += 1;
+                }
+                EventKind::Shed => sheds += 1,
+                _ => {}
+            }
+        }
+    }
+    report.push_str("\nstages (completed spans):\n");
+    report.push_str(&format!(
+        "  {:<12} {:>6} {:>10}\n",
+        "stage", "spans", "mean_us"
+    ));
+    for (stage, (count, total_ns)) in &stage_spans {
+        report.push_str(&format!(
+            "  {:<12} {:>6} {:>10.1}\n",
+            stage,
+            count,
+            *total_ns as f64 / 1e3 / (*count).max(1) as f64,
+        ));
+    }
+    if !unfinished.is_empty() {
+        report.push_str("stages that never finished (panic/deadline):\n");
+        for (stage, n) in &unfinished {
+            report.push_str(&format!("  {stage:<12} {n:>6}\n"));
+        }
+    }
+    report.push_str(&format!(
+        "\ncache: {goals} goal(s) ({hits} memo hits, {misses} misses), \
+         {evictions} eviction event(s) dropping {evicted_entries} entr(ies)\n"
+    ));
+    if !faults.is_empty() {
+        let parts: Vec<String> = faults.iter().map(|(a, n)| format!("{a}={n}")).collect();
+        report.push_str(&format!("faults injected: {}\n", parts.join(", ")));
+    }
+    if !cancelled.is_empty() {
+        let parts: Vec<String> = cancelled.iter().map(|(s, n)| format!("{s}={n}")).collect();
+        report.push_str(&format!(
+            "deadline cancellations by stage: {}\n",
+            parts.join(", ")
+        ));
+    }
+    if sheds > 0 {
+        report.push_str(&format!("shed at admission: {sheds}\n"));
+    }
+    if !emit(&report) {
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(p) = &chrome_path {
+        let spans: Vec<(u64, Vec<typeclasses::SpanEvent>)> = traces
+            .iter()
+            .map(|t| (t.trace_id, chrome_spans(&t.events)))
+            .collect();
+        if let Err(e) = std::fs::write(p, traces_chrome_json(&spans)) {
+            eprintln!("error: cannot write {p}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("serve") {
         return serve_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("report") {
+        return report_main(&args[1..]);
     }
 
     // `--explain <CODE>` / `--explain=<CODE>` is a lookup, not a run:
