@@ -359,6 +359,89 @@ fn bench_obs_overhead(reps: usize) -> ObsRow {
     }
 }
 
+/// Socket-transport round-trip throughput: the same example batch
+/// pushed through a loopback TCP server by one pipelining client, so
+/// the row prices the full framing + admission + response-routing
+/// path rather than the in-process `serve_lines` shortcut.
+///
+/// `programs`/`responses_ok` are deterministic and gate exactly;
+/// `nanos_batch` gets timing tolerance and `requests_per_sec` the
+/// one-sided throughput tolerance.
+struct SocketRow {
+    programs: u64,
+    responses_ok: u64,
+    nanos_batch: u128,
+    requests_per_sec: f64,
+}
+
+impl SocketRow {
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.field_str("name", "socket_roundtrip");
+        w.field_u64("programs", self.programs);
+        w.field_u64("responses_ok", self.responses_ok);
+        w.field_u64("nanos_batch", saturate(self.nanos_batch));
+        w.field_f64("requests_per_sec", self.requests_per_sec, 1);
+        w.end_object();
+    }
+}
+
+fn bench_socket_roundtrip(reps: usize) -> SocketRow {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::{TcpListener, TcpStream};
+    use typeclasses::serve::serve_socket;
+
+    let lines = example_batch_lines(reps);
+    let cfg = ServeConfig {
+        queue_capacity: lines.len().max(64),
+        ..ServeConfig::default()
+    };
+
+    // Best of three batches over a fresh server each time, so listener
+    // setup and worker spawn amortize the same way in every round.
+    let mut best_nanos = u128::MAX;
+    let mut responses_ok = 0;
+    for _ in 0..3 {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let handle = serve_socket(listener, &cfg).expect("serve_socket");
+        let stream = TcpStream::connect(handle.addr()).expect("connect loopback");
+        let mut writer = stream.try_clone().expect("clone stream");
+        let mut reader = BufReader::new(stream);
+
+        let blob = lines.join("\n") + "\n";
+        let t0 = Instant::now();
+        writer
+            .write_all(blob.as_bytes())
+            .and_then(|()| writer.flush())
+            .expect("send batch");
+        let mut line = String::new();
+        for _ in 0..lines.len() {
+            line.clear();
+            let n = reader.read_line(&mut line).expect("read response");
+            assert!(n > 0, "server closed before answering the batch");
+        }
+        let nanos = t0.elapsed().as_nanos();
+        drop(writer);
+        drop(reader);
+        let summary = handle.shutdown();
+        assert_eq!(
+            summary.ok(),
+            lines.len() as u64,
+            "examples must all succeed over the socket"
+        );
+        responses_ok = summary.ok();
+        best_nanos = best_nanos.min(nanos);
+    }
+
+    let programs = lines.len() as u64;
+    SocketRow {
+        programs,
+        responses_ok,
+        nanos_batch: best_nanos,
+        requests_per_sec: programs as f64 * 1e9 / best_nanos.max(1) as f64,
+    }
+}
+
 /// Coherence-checker throughput: pairwise overlap detection over a
 /// deliberately wide (and deliberately disjoint — the pass must come
 /// back clean) instance world, reported as instances/sec.
@@ -556,6 +639,9 @@ fn main() {
     // Flight-recorder overhead: the same batch, recorder off vs on.
     let obs_row = bench_obs_overhead(if smoke { 10 } else { 100 });
 
+    // The same batch over loopback TCP: framing + routing overhead.
+    let socket_row = bench_socket_roundtrip(if smoke { 20 } else { 200 });
+
     // Coherence-checker throughput over a wide disjoint instance world.
     let coherence_row = bench_coherence(iters);
 
@@ -570,6 +656,7 @@ fn main() {
     }
     serve_row.write_json(&mut w);
     obs_row.write_json(&mut w);
+    socket_row.write_json(&mut w);
     coherence_row.write_json(&mut w);
     w.end_array();
     w.end_object();
@@ -609,6 +696,14 @@ fn main() {
         obs_row.nanos_recorder_off as f64 / 1e6,
         obs_row.nanos_recorder_on as f64 / 1e6,
         (obs_row.nanos_recorder_on as f64 / obs_row.nanos_recorder_off.max(1) as f64 - 1.0) * 100.0,
+    );
+    println!(
+        "{:28} programs={:6} ok={:6} batch={:.3}ms throughput={:.0}/s",
+        "socket_roundtrip",
+        socket_row.programs,
+        socket_row.responses_ok,
+        socket_row.nanos_batch as f64 / 1e6,
+        socket_row.requests_per_sec,
     );
     println!(
         "{:28} instances={:4} pairs={:5} check={:.3}ms throughput={:.0} instances/s",

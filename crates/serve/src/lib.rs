@@ -48,7 +48,8 @@
 //! | field         | type   | meaning                                        |
 //! |---------------|--------|------------------------------------------------|
 //! | `id`          | num/str| echoed on the response (default: line number)  |
-//! | `cmd`         | str    | `"run"` (default), `"check"`, `"stats"`, or `"dump"` |
+//! | `cmd`         | str    | `"run"` (default), `"check"`, `"stats"`, `"dump"`, `"health"`, or `"watch"` (socket only) |
+//! | `interval_ms` | num    | `watch` tick period (default 1000, min 10)     |
 //! | `program`     | str    | Mini-Haskell source (required for `run`/`check`)|
 //! | `deadline_ms` | num    | per-request deadline, admission to answer      |
 //! | `prelude`     | bool   | splice the prelude (default true)              |
@@ -90,15 +91,55 @@
 //! (`traces`, sorted by `trace_id`) and clears the store. Because the
 //! barrier drains the pipeline first, a dump after a deterministic
 //! fault run always sees the same retained set.
+//!
+//! # Transports and the telemetry plane
+//!
+//! The same protocol runs over two transports sharing one admission
+//! queue and worker pool:
+//!
+//! - **stdin** ([`serve`]): newline-delimited JSON in, completion-order
+//!   responses out; the session ends at EOF.
+//! - **socket** ([`serve_socket`]): a std-only [`std::net::TcpListener`]
+//!   accepting many concurrent clients. Each connection gets a reader
+//!   thread (admission) and a writer thread (responses routed back by
+//!   connection — ids never cross connections), so a slow client never
+//!   blocks another. Frames are lines; a frame split across TCP reads
+//!   is reassembled by the buffered reader.
+//!
+//! Three telemetry surfaces ride on top:
+//!
+//! - `{"cmd":"health"}` — a cheap readiness/liveness probe: queue
+//!   depth vs capacity, worker liveness, shed rate over the last
+//!   [`SHED_WINDOW_SECS`] seconds, and the retained-trace backlog. It
+//!   bypasses admission entirely (no queue push, no gate), so it
+//!   answers in O(1) even when the queue is saturated. Available on
+//!   both transports.
+//! - `{"cmd":"watch","interval_ms":N}` — a streaming subscription
+//!   (socket only): after an ack, the server pushes one tick line per
+//!   interval carrying the fleet-snapshot *delta* since the previous
+//!   tick ([`tc_trace::MetricsSnapshot::delta`] — counters as
+//!   differences, histograms via differenced buckets) plus
+//!   server-computed qps and p50/p99 per outcome class, queue
+//!   occupancy, cache hit rate, and shed/fault counts. The first tick
+//!   deltas from zero, so a consumer summing every tick holds the
+//!   absolute fleet snapshot. The subscription ends when the client
+//!   disconnects; the server reaps the ticker without wedging.
+//! - **Access log** ([`ServeConfig::access_log`]): one JSONL record
+//!   per request on the completion path — id, seq, outcome class,
+//!   latency, trace-retention decision, worker — so every request
+//!   leaves a greppable trail even when its flight-recorder trace is
+//!   not retained. Shed and bad-request lines are logged too (with a
+//!   null worker).
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![cfg_attr(not(test), deny(clippy::panic))]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 use std::collections::VecDeque;
+use std::fmt;
 use std::io::{BufRead, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Condvar, Mutex, MutexGuard, Once};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, Once};
 use std::time::{Duration, Instant};
 
 use tc_driver::resilience::{self, FaultPlan};
@@ -113,11 +154,141 @@ use tc_trace::events::{
 };
 use tc_trace::{
     json, CancelToken, CounterId, Event, EventKind, EventLog, HistogramId, JsonWriter,
-    MetricsRegistry,
+    MetricsRegistry, MetricsSnapshot,
 };
+
+pub mod socket;
+
+pub use socket::{serve_socket, SocketHandle};
 
 /// Memo-table cap applied under heavy load (≥75% queue occupancy).
 const DEGRADED_CACHE_CAPACITY: usize = 256;
+
+/// Length of the health probe's sliding shed-rate window, seconds.
+pub const SHED_WINDOW_SECS: u64 = 10;
+
+/// A shared line-oriented sink for the per-request access log. Cloned
+/// into every worker and admission thread; records are whole lines
+/// written under one lock so they never interleave. Sink errors are
+/// swallowed — observability must never take down serving.
+#[derive(Clone)]
+pub struct AccessLog {
+    sink: Arc<Mutex<Box<dyn Write + Send>>>,
+}
+
+impl fmt::Debug for AccessLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("AccessLog(..)")
+    }
+}
+
+impl AccessLog {
+    /// Log to any line sink (a file, a Vec in tests, ...).
+    pub fn to_writer(w: Box<dyn Write + Send>) -> AccessLog {
+        AccessLog {
+            sink: Arc::new(Mutex::new(w)),
+        }
+    }
+
+    /// Open the conventional CLI spelling: a file path, or `-` for
+    /// stderr (stdout carries responses).
+    pub fn create(path: &str) -> std::io::Result<AccessLog> {
+        if path == "-" {
+            return Ok(AccessLog::to_writer(Box::new(std::io::stderr())));
+        }
+        Ok(AccessLog::to_writer(Box::new(std::fs::File::create(path)?)))
+    }
+
+    fn record(&self, line: &str) {
+        let mut sink = lock_unpoisoned(&self.sink);
+        let _ = writeln!(sink, "{line}");
+        let _ = sink.flush();
+    }
+}
+
+/// One JSONL access-log record: the completion-path summary of a
+/// request. `worker` is `None` for requests that never reached the
+/// pool (shed, bad-request); `retained` is the tail-sampler's reason
+/// when the trace was kept.
+fn access_line(
+    id: &ReqId,
+    seq: u64,
+    t_ms: u64,
+    outcome: u64,
+    latency_us: u64,
+    retained: Option<&'static str>,
+    worker: Option<usize>,
+) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    write_id(&mut w, id);
+    w.field_u64("seq", seq);
+    w.field_u64("t_ms", t_ms);
+    w.field_str("outcome", outcome_name(outcome));
+    w.field_u64("latency_us", latency_us);
+    match retained {
+        Some(reason) => w.field_str("retained", reason),
+        None => w.field_null("retained"),
+    }
+    match worker {
+        Some(i) => w.field_u64("worker", i as u64),
+        None => w.field_null("worker"),
+    }
+    w.end_object();
+    w.finish()
+}
+
+/// A fixed ring of one-second buckets backing the health probe's
+/// shed-rate-over-the-last-window report. Recording and reading are
+/// O([`SHED_WINDOW_SECS`]) with one short lock — safe to touch from
+/// every admission thread and from `health` even under overload.
+struct ShedWindow {
+    slots: Mutex<[ShedSlot; SHED_WINDOW_SECS as usize]>,
+}
+
+#[derive(Clone, Copy, Default)]
+struct ShedSlot {
+    /// Which second this slot currently holds counts for.
+    epoch_sec: u64,
+    admitted: u64,
+    shed: u64,
+}
+
+impl ShedWindow {
+    fn new() -> ShedWindow {
+        ShedWindow {
+            slots: Mutex::new([ShedSlot::default(); SHED_WINDOW_SECS as usize]),
+        }
+    }
+
+    /// Count one admission decision in the current second's bucket.
+    fn record(&self, now_sec: u64, shed: bool) {
+        let mut slots = lock_unpoisoned(&self.slots);
+        let slot = &mut slots[(now_sec % SHED_WINDOW_SECS) as usize];
+        if slot.epoch_sec != now_sec {
+            *slot = ShedSlot {
+                epoch_sec: now_sec,
+                admitted: 0,
+                shed: 0,
+            };
+        }
+        if shed {
+            slot.shed += 1;
+        } else {
+            slot.admitted += 1;
+        }
+    }
+
+    /// `(admitted, shed)` over the last [`SHED_WINDOW_SECS`] seconds.
+    fn totals(&self, now_sec: u64) -> (u64, u64) {
+        let slots = lock_unpoisoned(&self.slots);
+        let floor = now_sec.saturating_sub(SHED_WINDOW_SECS - 1);
+        slots
+            .iter()
+            .filter(|s| s.epoch_sec >= floor && s.epoch_sec <= now_sec)
+            .fold((0, 0), |(a, s), slot| (a + slot.admitted, s + slot.shed))
+    }
+}
 
 /// Flight-recorder configuration: off by default (the recorder is
 /// zero-cost when off — every record site pays one branch and no
@@ -270,6 +441,9 @@ pub struct ServeConfig {
     pub faults: Option<FaultPlan>,
     /// Flight-recorder / tail-sampling configuration.
     pub recorder: RecorderConfig,
+    /// Per-request JSONL access log written on the completion path
+    /// (`None` = no access logging).
+    pub access_log: Option<AccessLog>,
     /// Base pipeline options; per-request fields override a copy.
     pub options: Options,
 }
@@ -285,6 +459,7 @@ impl Default for ServeConfig {
             retry_after_ms: 50,
             faults: None,
             recorder: RecorderConfig::default(),
+            access_log: None,
             options: Options::default(),
         }
     }
@@ -307,6 +482,11 @@ pub struct ServeSummary {
     pub stats_requests: u64,
     /// `dump` commands answered.
     pub dump_requests: u64,
+    /// `health` probes answered (they bypass admission and are not
+    /// counted in `serve.requests`).
+    pub health_requests: u64,
+    /// `watch` subscriptions accepted (socket transport).
+    pub watch_requests: u64,
     /// Responses successfully written.
     pub responses: u64,
     /// Responses dropped because the output sink failed (e.g. a
@@ -382,7 +562,13 @@ enum Parsed {
     Run(Box<Job>),
     Stats,
     Dump,
+    Health,
+    Watch { interval_ms: u64 },
 }
+
+/// Floor for `watch` tick periods: faster than this and the snapshot
+/// merges themselves would become the load.
+const MIN_WATCH_INTERVAL_MS: u64 = 10;
 
 /// Lock a mutex, riding through poisoning: workers isolate panics
 /// with `catch_unwind`, so a poisoned registry still holds coherent
@@ -435,6 +621,16 @@ fn parse_request(line: &str, seq: u64, base: &Options) -> (ReqId, Result<Parsed,
     match cmd {
         "stats" => (id, Ok(Parsed::Stats)),
         "dump" => (id, Ok(Parsed::Dump)),
+        "health" => (id, Ok(Parsed::Health)),
+        "watch" => match u64_field(&v, "interval_ms") {
+            Ok(ms) => (
+                id,
+                Ok(Parsed::Watch {
+                    interval_ms: ms.unwrap_or(1000).max(MIN_WATCH_INTERVAL_MS),
+                }),
+            ),
+            Err(e) => (id, Err(e)),
+        },
         "run" | "check" => {
             let check = cmd == "check";
             let spec = (|| {
@@ -665,124 +861,711 @@ fn classify(job: &Job, outcome: Result<Done, String>, latency_us: u64) -> (u64, 
     }
 }
 
-/// Process one admitted job on a worker: apply degradation, arm
-/// faults, run the pipeline under panic isolation (recording its
-/// events under `trace_id = seq`), classify, record metrics, make the
-/// tail-sampling decision, and return the single response line.
-fn process(
-    mut job: Job,
-    cfg: &ServeConfig,
-    reg: &Mutex<MetricsRegistry>,
-    log: &EventLog,
-    store: &Mutex<RetainedStore>,
-) -> String {
-    let scope = log.scope(job.seq);
-    scope.record(
-        EventKind::RequestStart,
-        job.seq,
-        job.admitted_at.elapsed().as_micros() as u64,
-    );
-    {
-        let mut m = lock_unpoisoned(reg);
-        m.incr(CounterId::ServeProcessed);
-        if job.degrade_traces {
-            m.incr(CounterId::ServeDegradedTraces);
-        }
-        if job.degrade_cache {
-            m.incr(CounterId::ServeDegradedCache);
-        }
-    }
-    if job.degrade_traces {
-        // Shed optional observability first: correctness of the
-        // answer is untouched, only explain/profile detail is lost.
-        // The flight recorder stays on — it is the instrument that
-        // explains exactly these degraded requests.
-        job.opts.trace_resolution = false;
-        job.opts.trace_goal_spans = false;
-        job.opts.trace_timing = false;
-        job.opts.profile_eval = false;
-    }
-    if job.degrade_cache {
-        job.opts.cache_capacity = Some(DEGRADED_CACHE_CAPACITY);
-    }
-    job.opts.cancel = job.token.clone();
-    job.opts.events = scope.clone();
-    let faults = cfg
-        .faults
-        .as_ref()
-        .map(|p| p.for_request(job.seq))
-        .unwrap_or_default();
-    job.opts.faults = faults.clone();
+/// Per-session tallies, shared by every admission thread (stdin has
+/// one; the socket transport has one per connection).
+#[derive(Debug, Default)]
+struct Tally {
+    lines: u64,
+    admitted: u64,
+    shed: u64,
+    bad_requests: u64,
+    stats_requests: u64,
+    dump_requests: u64,
+    health_requests: u64,
+    watch_requests: u64,
+}
 
-    // A deadline that expired while the job sat in the queue: answer
-    // without burning any pipeline work.
-    let (code, resp, injected) = if job.token.as_ref().is_some_and(|t| t.is_cancelled()) {
-        let resp = error_response(
-            &job.id,
-            "deadline",
-            "deadline expired before compilation started",
-            None,
-        );
-        (OUTCOME_DEADLINE, resp, 0)
-    } else {
-        let outcome = resilience::isolated(|| {
-            let check = if job.lint {
-                lint_source(&job.program, &job.opts)
+/// What admission did with one request line. Everything except a
+/// `watch` subscription is fully handled — response routed or job
+/// queued — by the time [`Core::handle_line`] returns; `watch` is
+/// handed back because only the transport knows whether it can
+/// stream (socket spawns a ticker, stdin rejects).
+enum Admitted {
+    Done,
+    Watch { id: ReqId, interval_ms: u64 },
+}
+
+/// The per-outcome-class watch rate rows: response counter, latency
+/// histogram, and class label, in protocol order.
+const WATCH_CLASSES: [(CounterId, HistogramId, &str); 4] = [
+    (CounterId::ServeOk, HistogramId::ServeLatencyOkUs, "ok"),
+    (
+        CounterId::ServeErrInternal,
+        HistogramId::ServeLatencyInternalUs,
+        "internal",
+    ),
+    (
+        CounterId::ServeErrDeadline,
+        HistogramId::ServeLatencyDeadlineUs,
+        "deadline",
+    ),
+    (
+        CounterId::ServeErrOverloaded,
+        HistogramId::ServeLatencyOverloadedUs,
+        "overloaded",
+    ),
+];
+
+/// The transport-independent server: admission queue, worker pool
+/// state, fleet metrics, flight recorder, and the telemetry plane's
+/// shared counters. Both the stdin session ([`serve`]) and the socket
+/// listener ([`serve_socket`]) drive one of these; the socket
+/// transport wraps it in an [`Arc`] so reader, writer, worker, and
+/// ticker threads all see the same server.
+struct Core {
+    cfg: ServeConfig,
+    workers: usize,
+    cap: usize,
+    queue: Queue,
+    gate: Gate,
+    worker_regs: Vec<Mutex<MetricsRegistry>>,
+    worker_logs: Vec<EventLog>,
+    admission_reg: Mutex<MetricsRegistry>,
+    admission_log: EventLog,
+    store: Mutex<RetainedStore>,
+    tally: Mutex<Tally>,
+    shed_window: ShedWindow,
+    started: Instant,
+    /// Global arrival-order sequence numbers. A single sequential
+    /// client therefore sees the same seqs over the socket as over
+    /// stdin — which is what makes seeded fault runs replay
+    /// identically across transports.
+    seq: AtomicU64,
+    responses: AtomicU64,
+    write_errors: AtomicU64,
+    active_connections: AtomicU64,
+    workers_alive: AtomicU64,
+    transport: &'static str,
+}
+
+impl Core {
+    fn new(cfg: &ServeConfig, transport: &'static str) -> Core {
+        let workers = cfg.workers.max(1);
+        let event_log = |enabled: bool| {
+            if enabled {
+                EventLog::with_capacity(cfg.recorder.capacity)
             } else {
-                check_source(&job.program, &job.opts)
-            };
-            if job.check {
-                // Static surface: stop after the analysis passes;
-                // `main` (if any) is never evaluated.
-                Done::Check(check)
-            } else {
-                Done::Run(run_checked(check, &job.opts))
+                EventLog::off()
             }
-        });
-        let latency_us = job.admitted_at.elapsed().as_micros() as u64;
-        let (code, resp) = classify(&job, outcome, latency_us);
-        (code, resp, faults.injected())
-    };
+        };
+        Core {
+            workers,
+            cap: cfg.queue_capacity.max(1),
+            queue: Queue::new(),
+            gate: Gate::new(),
+            worker_regs: (0..workers)
+                .map(|_| Mutex::new(MetricsRegistry::new()))
+                .collect(),
+            // One event ring per worker (a worker records one request
+            // at a time, so rings never mix concurrent traces) plus
+            // one for admission-side synthesized traces.
+            worker_logs: (0..workers)
+                .map(|_| event_log(cfg.recorder.enabled))
+                .collect(),
+            admission_reg: Mutex::new(MetricsRegistry::new()),
+            admission_log: event_log(cfg.recorder.enabled),
+            store: Mutex::new(RetainedStore {
+                traces: Vec::new(),
+                dropped: 0,
+                max: cfg.recorder.max_retained.max(1),
+            }),
+            tally: Mutex::new(Tally::default()),
+            shed_window: ShedWindow::new(),
+            started: Instant::now(),
+            seq: AtomicU64::new(0),
+            responses: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+            active_connections: AtomicU64::new(0),
+            workers_alive: AtomicU64::new(workers as u64),
+            cfg: cfg.clone(),
+            transport,
+        }
+    }
 
-    let latency_us = job.admitted_at.elapsed().as_micros() as u64;
-    scope.record(EventKind::RequestEnd, code, latency_us);
+    fn uptime_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
 
-    // Tail sampling: now that the outcome is known, decide whether
-    // this request's events are worth keeping.
-    let mut kept = None;
-    if cfg.recorder.enabled {
-        let events = log.extract(job.seq);
-        if let Some(reason) = retention_reason(&cfg.recorder, job.seq, code, latency_us, &events) {
-            kept = Some(retain(
-                store,
-                RetainedTrace {
-                    trace_id: job.seq,
-                    outcome: code,
-                    reason,
-                    latency_us,
-                    events,
-                },
+    fn now_sec(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
+    /// Merged fleet registry: admission plus every worker.
+    fn fleet(&self) -> MetricsRegistry {
+        let mut fleet = MetricsRegistry::new();
+        fleet.merge(&lock_unpoisoned(&self.admission_reg));
+        for reg in &self.worker_regs {
+            fleet.merge(&lock_unpoisoned(reg));
+        }
+        fleet
+    }
+
+    /// The worker thread body: pop, process, route the response back
+    /// to the admitting connection's channel.
+    ///
+    /// `workers_alive` starts at the configured pool size (so a
+    /// health probe racing worker startup still reads full liveness)
+    /// and is decremented by a drop guard — a worker dying any way at
+    /// all, including an unexpected unwinding panic, is counted out.
+    fn worker_loop(&self, idx: usize) {
+        struct Alive<'a>(&'a AtomicU64);
+        impl Drop for Alive<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        let _alive = Alive(&self.workers_alive);
+        while let Some((job, reply)) = self.queue.pop() {
+            let resp = self.process(job, idx);
+            // A send only fails when the connection (and its writer)
+            // is already gone; the response has nowhere to go.
+            let _ = reply.send(resp);
+            self.gate.exit();
+        }
+    }
+
+    /// The stdin writer body: drain the response channel into the
+    /// sink, riding through a broken pipe by counting instead of
+    /// blocking workers.
+    fn writer_loop<W: Write>(&self, mut out: W, rx: mpsc::Receiver<String>) {
+        let mut sink_broken = false;
+        for line in rx {
+            if sink_broken {
+                self.write_errors.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            match writeln!(out, "{line}") {
+                Ok(()) => {
+                    self.responses.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    sink_broken = true;
+                    self.write_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        let _ = out.flush();
+    }
+
+    /// Write one access-log record, if an access log is configured.
+    fn access(
+        &self,
+        id: &ReqId,
+        seq: u64,
+        outcome: u64,
+        latency_us: u64,
+        retained: Option<&'static str>,
+        worker: Option<usize>,
+    ) {
+        if let Some(log) = &self.cfg.access_log {
+            log.record(&access_line(
+                id,
+                seq,
+                self.uptime_ms(),
+                outcome,
+                latency_us,
+                retained,
+                worker,
             ));
         }
     }
 
-    let mut m = lock_unpoisoned(reg);
-    m.add(CounterId::ServeFaultsInjected, injected);
-    m.observe(HistogramId::ServeLatencyUs, latency_us);
-    if let Some(h) = latency_class(code) {
-        m.observe(h, latency_us);
+    /// Admit one request line: parse, classify, and either answer it
+    /// directly on `reply` (errors, stats, dump, health), queue it
+    /// for the pool (run/check), or hand a `watch` subscription back
+    /// to the transport.
+    fn handle_line(&self, trimmed: &str, reply: &mpsc::Sender<String>) -> Admitted {
+        let seq = self.seq.fetch_add(1, Ordering::SeqCst) + 1;
+        lock_unpoisoned(&self.tally).lines += 1;
+        let (id, parsed) = parse_request(trimmed, seq, &self.cfg.options);
+        // Health is a probe, not a request: it bypasses admission and
+        // stays out of `serve.requests` so probing a saturated server
+        // does not disturb its counters.
+        if !matches!(parsed, Ok(Parsed::Health)) {
+            lock_unpoisoned(&self.admission_reg).incr(CounterId::ServeRequests);
+        }
+        match parsed {
+            Err(msg) => {
+                lock_unpoisoned(&self.tally).bad_requests += 1;
+                lock_unpoisoned(&self.admission_reg).incr(CounterId::ServeErrBadRequest);
+                let kept = self.synth_trace(seq, OUTCOME_BAD_REQUEST, None);
+                self.access(&id, seq, OUTCOME_BAD_REQUEST, 0, kept, None);
+                let _ = reply.send(error_response(&id, "bad-request", &msg, None));
+                Admitted::Done
+            }
+            Ok(Parsed::Stats) => {
+                lock_unpoisoned(&self.tally).stats_requests += 1;
+                let _ = reply.send(self.stats_response(&id));
+                Admitted::Done
+            }
+            Ok(Parsed::Dump) => {
+                lock_unpoisoned(&self.tally).dump_requests += 1;
+                // Barrier: wait out every in-flight request so the
+                // drained set is complete and (under a fault seed)
+                // deterministic.
+                self.gate.wait_idle();
+                let _ = reply.send(self.dump_response(&id));
+                Admitted::Done
+            }
+            Ok(Parsed::Health) => {
+                lock_unpoisoned(&self.tally).health_requests += 1;
+                let _ = reply.send(self.health_response(&id));
+                Admitted::Done
+            }
+            Ok(Parsed::Watch { interval_ms }) => Admitted::Watch { id, interval_ms },
+            Ok(Parsed::Run(mut job)) => {
+                let depth = self.queue.depth();
+                let mut reg = lock_unpoisoned(&self.admission_reg);
+                reg.observe(HistogramId::ServeQueueDepth, depth as u64);
+                if depth >= self.cap {
+                    reg.incr(CounterId::ServeErrOverloaded);
+                    reg.observe(HistogramId::ServeLatencyOverloadedUs, 0);
+                    drop(reg);
+                    lock_unpoisoned(&self.tally).shed += 1;
+                    self.shed_window.record(self.now_sec(), true);
+                    let hint = retry_after_hint(self.cfg.retry_after_ms, depth, self.workers);
+                    let kept = self.synth_trace(
+                        seq,
+                        OUTCOME_OVERLOADED,
+                        Some((EventKind::Shed, depth as u64, hint)),
+                    );
+                    self.access(&id, seq, OUTCOME_OVERLOADED, 0, kept, None);
+                    let _ = reply.send(error_response(
+                        &id,
+                        "overloaded",
+                        "admission queue is full",
+                        Some(hint),
+                    ));
+                    return Admitted::Done;
+                }
+                drop(reg);
+                self.shed_window.record(self.now_sec(), false);
+                // Degrade *before* shedding: at half occupancy the
+                // pool is behind, so optional observability goes
+                // first; at three quarters, cap the memo table too.
+                job.degrade_traces = depth * 2 >= self.cap;
+                job.degrade_cache = depth * 4 >= self.cap * 3;
+                job.admitted_at = Instant::now();
+                job.token = job
+                    .deadline_ms
+                    .or(self.cfg.default_deadline_ms)
+                    .map(|ms| CancelToken::with_deadline(Duration::from_millis(ms)));
+                lock_unpoisoned(&self.tally).admitted += 1;
+                self.gate.enter();
+                self.queue.push(*job, reply.clone());
+                Admitted::Done
+            }
+        }
     }
-    match code {
-        OUTCOME_INTERNAL => m.incr(CounterId::ServeErrInternal),
-        OUTCOME_DEADLINE => m.incr(CounterId::ServeErrDeadline),
-        _ => m.incr(CounterId::ServeOk),
+
+    /// The `stats` response: uptime, transport, per-worker counts,
+    /// per-class latency quantiles, and the full fleet snapshot.
+    fn stats_response(&self, id: &ReqId) -> String {
+        let fleet = self.fleet();
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        write_id(&mut w, id);
+        w.field_str("status", "ok");
+        w.field_str("cmd", "stats");
+        w.field_u64("uptime_ms", self.uptime_ms());
+        w.field_str("transport", self.transport);
+        w.field_u64(
+            "active_connections",
+            self.active_connections.load(Ordering::SeqCst),
+        );
+        w.begin_array_field("workers");
+        for reg in &self.worker_regs {
+            w.elem_u64(lock_unpoisoned(reg).counter(CounterId::ServeProcessed));
+        }
+        w.end_array();
+        w.begin_object_field("latency");
+        for (hid, class) in HistogramId::LATENCY_CLASSES {
+            w.begin_object_field(class);
+            let h = fleet.histogram(hid);
+            w.field_u64("count", h.map_or(0, |h| h.count));
+            for (key, q) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99)] {
+                match h.and_then(|h| h.quantile(q)) {
+                    Some(v) => w.field_f64(key, v, 1),
+                    None => w.field_null(key),
+                }
+            }
+            w.end_object();
+        }
+        w.end_object();
+        w.begin_object_field("fleet");
+        fleet.write_json(&mut w);
+        w.end_object();
+        w.end_object();
+        w.finish()
     }
-    match kept {
-        Some(true) => m.incr(CounterId::ServeTracesRetained),
-        Some(false) => m.incr(CounterId::ServeTracesDropped),
-        None => {}
+
+    /// The `dump` response: drain and clear the retained-trace store.
+    /// Call [`Gate::wait_idle`] first — the barrier is what makes the
+    /// drained set complete.
+    fn dump_response(&self, id: &ReqId) -> String {
+        let (mut traces, dropped) = {
+            let mut st = lock_unpoisoned(&self.store);
+            (std::mem::take(&mut st.traces), st.dropped)
+        };
+        traces.sort_by_key(|t| t.trace_id);
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        write_id(&mut w, id);
+        w.field_str("status", "ok");
+        w.field_str("cmd", "dump");
+        w.field_u64("retained", traces.len() as u64);
+        w.field_u64("dropped", dropped);
+        w.begin_array_field("traces");
+        for t in &traces {
+            t.write_json(&mut w);
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
     }
-    resp
+
+    /// The `health` response. Deliberately O(1): a queue-depth read,
+    /// a few atomics, the shed window, and the store length — no
+    /// admission, no gate, no fleet merge — so it answers promptly
+    /// even when the admission queue is saturated.
+    fn health_response(&self, id: &ReqId) -> String {
+        let depth = self.queue.depth();
+        let alive = self.workers_alive.load(Ordering::SeqCst);
+        let (admitted, shed) = self.shed_window.totals(self.now_sec());
+        let (backlog, trace_cap, dropped) = {
+            let st = lock_unpoisoned(&self.store);
+            (st.traces.len() as u64, st.max as u64, st.dropped)
+        };
+        let accepting = depth < self.cap;
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        write_id(&mut w, id);
+        w.field_str("status", "ok");
+        w.field_str("cmd", "health");
+        w.field_bool("healthy", alive > 0 && accepting);
+        w.field_str("transport", self.transport);
+        w.field_u64("uptime_ms", self.uptime_ms());
+        w.begin_object_field("queue");
+        w.field_u64("depth", depth as u64);
+        w.field_u64("capacity", self.cap as u64);
+        w.field_bool("accepting", accepting);
+        w.end_object();
+        w.begin_object_field("workers");
+        w.field_u64("configured", self.workers as u64);
+        w.field_u64("alive", alive);
+        w.end_object();
+        w.begin_object_field("shed_window");
+        w.field_u64("seconds", SHED_WINDOW_SECS);
+        w.field_u64("admitted", admitted);
+        w.field_u64("shed", shed);
+        let decisions = admitted + shed;
+        w.field_f64(
+            "shed_rate_pct",
+            if decisions == 0 {
+                0.0
+            } else {
+                shed as f64 * 100.0 / decisions as f64
+            },
+            1,
+        );
+        w.end_object();
+        w.begin_object_field("traces");
+        w.field_u64("retained_backlog", backlog);
+        w.field_u64("capacity", trace_cap);
+        w.field_u64("dropped", dropped);
+        w.end_object();
+        w.field_u64(
+            "active_connections",
+            self.active_connections.load(Ordering::SeqCst),
+        );
+        w.end_object();
+        w.finish()
+    }
+
+    /// The ack line confirming a `watch` subscription.
+    fn watch_ack(&self, id: &ReqId, interval_ms: u64) -> String {
+        lock_unpoisoned(&self.tally).watch_requests += 1;
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        write_id(&mut w, id);
+        w.field_str("status", "ok");
+        w.field_str("cmd", "watch");
+        w.field_u64("interval_ms", interval_ms);
+        w.field_bool("streaming", true);
+        w.end_object();
+        w.finish()
+    }
+
+    /// One `watch` tick: the fleet-snapshot delta since `prev` plus
+    /// server-computed rates over the window. Returns the tick line
+    /// and the new absolute snapshot to difference against next time.
+    /// The first tick differences against the zero snapshot, so the
+    /// sum of every tick's delta *is* the absolute fleet snapshot —
+    /// the reconciliation invariant the acceptance tests check.
+    fn watch_tick(
+        &self,
+        id: &ReqId,
+        tick: u64,
+        window_ms: u64,
+        prev: &MetricsSnapshot,
+    ) -> (String, MetricsSnapshot) {
+        let now = self.fleet().snapshot();
+        let delta = now.delta(prev);
+        let window_s = window_ms.max(1) as f64 / 1000.0;
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        write_id(&mut w, id);
+        w.field_str("cmd", "watch");
+        w.field_u64("tick", tick);
+        w.field_u64("window_ms", window_ms);
+        w.field_u64("uptime_ms", self.uptime_ms());
+        w.begin_object_field("queue");
+        w.field_u64("depth", self.queue.depth() as u64);
+        w.field_u64("capacity", self.cap as u64);
+        w.end_object();
+        w.field_u64(
+            "active_connections",
+            self.active_connections.load(Ordering::SeqCst),
+        );
+        w.field_f64(
+            "qps",
+            delta.counter(CounterId::ServeRequests) as f64 / window_s,
+            2,
+        );
+        w.begin_object_field("classes");
+        for (cid, hid, class) in WATCH_CLASSES {
+            w.begin_object_field(class);
+            let n = delta.counter(cid);
+            w.field_u64("count", n);
+            w.field_f64("rps", n as f64 / window_s, 2);
+            for (key, q) in [("p50", 0.5), ("p99", 0.99)] {
+                match delta.histogram(hid).quantile(q) {
+                    Some(v) => w.field_f64(key, v, 1),
+                    None => w.field_null(key),
+                }
+            }
+            w.end_object();
+        }
+        w.end_object();
+        let hits = delta.counter(CounterId::ResolveCacheHits);
+        let misses = delta.counter(CounterId::ResolveCacheMisses);
+        w.begin_object_field("cache");
+        w.field_u64("hits", hits);
+        w.field_u64("misses", misses);
+        let lookups = hits + misses;
+        w.field_f64(
+            "hit_rate_pct",
+            if lookups == 0 {
+                0.0
+            } else {
+                hits as f64 * 100.0 / lookups as f64
+            },
+            1,
+        );
+        w.end_object();
+        w.field_u64("shed", delta.counter(CounterId::ServeErrOverloaded));
+        w.field_u64("faults", delta.counter(CounterId::ServeFaultsInjected));
+        w.begin_object_field("delta");
+        delta.write_json(&mut w);
+        w.end_object();
+        w.end_object();
+        (w.finish(), now)
+    }
+
+    /// Synthesize and retain a minimal trace for a request that never
+    /// reached a worker (shed at admission, or unparseable), so
+    /// *every* anomalous request has a retained trace, not just the
+    /// ones that ran. Returns the retention reason if the store kept
+    /// it.
+    fn synth_trace(
+        &self,
+        seq: u64,
+        outcome: u64,
+        cause: Option<(EventKind, u64, u64)>,
+    ) -> Option<&'static str> {
+        if !self.cfg.recorder.enabled {
+            return None;
+        }
+        let scope = self.admission_log.scope(seq);
+        scope.record(EventKind::RequestStart, seq, 0);
+        if let Some((kind, a0, a1)) = cause {
+            scope.record(kind, a0, a1);
+        }
+        scope.record(EventKind::RequestEnd, outcome, 0);
+        let reason = outcome_name(outcome);
+        let kept = retain(
+            &self.store,
+            RetainedTrace {
+                trace_id: seq,
+                outcome,
+                reason,
+                latency_us: 0,
+                events: self.admission_log.extract(seq),
+            },
+        );
+        lock_unpoisoned(&self.admission_reg).incr(if kept {
+            CounterId::ServeTracesRetained
+        } else {
+            CounterId::ServeTracesDropped
+        });
+        kept.then_some(reason)
+    }
+
+    /// Process one admitted job on a worker: apply degradation, arm
+    /// faults, run the pipeline under panic isolation (recording its
+    /// events under `trace_id = seq`), classify, record metrics and
+    /// the access-log record, make the tail-sampling decision, and
+    /// return the single response line.
+    fn process(&self, mut job: Job, worker_idx: usize) -> String {
+        let cfg = &self.cfg;
+        let reg = &self.worker_regs[worker_idx];
+        let log = &self.worker_logs[worker_idx];
+        let scope = log.scope(job.seq);
+        scope.record(
+            EventKind::RequestStart,
+            job.seq,
+            job.admitted_at.elapsed().as_micros() as u64,
+        );
+        {
+            let mut m = lock_unpoisoned(reg);
+            m.incr(CounterId::ServeProcessed);
+            if job.degrade_traces {
+                m.incr(CounterId::ServeDegradedTraces);
+            }
+            if job.degrade_cache {
+                m.incr(CounterId::ServeDegradedCache);
+            }
+        }
+        if job.degrade_traces {
+            // Shed optional observability first: correctness of the
+            // answer is untouched, only explain/profile detail is
+            // lost. The flight recorder stays on — it is the
+            // instrument that explains exactly these degraded
+            // requests.
+            job.opts.trace_resolution = false;
+            job.opts.trace_goal_spans = false;
+            job.opts.trace_timing = false;
+            job.opts.profile_eval = false;
+        }
+        if job.degrade_cache {
+            job.opts.cache_capacity = Some(DEGRADED_CACHE_CAPACITY);
+        }
+        job.opts.cancel = job.token.clone();
+        job.opts.events = scope.clone();
+        let faults = cfg
+            .faults
+            .as_ref()
+            .map(|p| p.for_request(job.seq))
+            .unwrap_or_default();
+        job.opts.faults = faults.clone();
+
+        // A deadline that expired while the job sat in the queue:
+        // answer without burning any pipeline work.
+        let (code, resp, injected) = if job.token.as_ref().is_some_and(|t| t.is_cancelled()) {
+            let resp = error_response(
+                &job.id,
+                "deadline",
+                "deadline expired before compilation started",
+                None,
+            );
+            (OUTCOME_DEADLINE, resp, 0)
+        } else {
+            let outcome = resilience::isolated(|| {
+                let check = if job.lint {
+                    lint_source(&job.program, &job.opts)
+                } else {
+                    check_source(&job.program, &job.opts)
+                };
+                if job.check {
+                    // Static surface: stop after the analysis passes;
+                    // `main` (if any) is never evaluated.
+                    Done::Check(check)
+                } else {
+                    Done::Run(run_checked(check, &job.opts))
+                }
+            });
+            let latency_us = job.admitted_at.elapsed().as_micros() as u64;
+            let (code, resp) = classify(&job, outcome, latency_us);
+            (code, resp, faults.injected())
+        };
+
+        let latency_us = job.admitted_at.elapsed().as_micros() as u64;
+        scope.record(EventKind::RequestEnd, code, latency_us);
+
+        // Tail sampling: now that the outcome is known, decide
+        // whether this request's events are worth keeping.
+        let mut kept = None;
+        if cfg.recorder.enabled {
+            let events = log.extract(job.seq);
+            if let Some(reason) =
+                retention_reason(&cfg.recorder, job.seq, code, latency_us, &events)
+            {
+                let stored = retain(
+                    &self.store,
+                    RetainedTrace {
+                        trace_id: job.seq,
+                        outcome: code,
+                        reason,
+                        latency_us,
+                        events,
+                    },
+                );
+                kept = Some((reason, stored));
+            }
+        }
+
+        self.access(
+            &job.id,
+            job.seq,
+            code,
+            latency_us,
+            kept.and_then(|(reason, stored)| stored.then_some(reason)),
+            Some(worker_idx),
+        );
+
+        let mut m = lock_unpoisoned(reg);
+        m.add(CounterId::ServeFaultsInjected, injected);
+        m.observe(HistogramId::ServeLatencyUs, latency_us);
+        if let Some(h) = latency_class(code) {
+            m.observe(h, latency_us);
+        }
+        match code {
+            OUTCOME_INTERNAL => m.incr(CounterId::ServeErrInternal),
+            OUTCOME_DEADLINE => m.incr(CounterId::ServeErrDeadline),
+            _ => m.incr(CounterId::ServeOk),
+        }
+        match kept {
+            Some((_, true)) => m.incr(CounterId::ServeTracesRetained),
+            Some((_, false)) => m.incr(CounterId::ServeTracesDropped),
+            None => {}
+        }
+        resp
+    }
+
+    /// Fold the session into a [`ServeSummary`], draining whatever the
+    /// retained store still holds.
+    fn summary(&self) -> ServeSummary {
+        let t = lock_unpoisoned(&self.tally);
+        let mut summary = ServeSummary {
+            lines: t.lines,
+            admitted: t.admitted,
+            shed: t.shed,
+            bad_requests: t.bad_requests,
+            stats_requests: t.stats_requests,
+            dump_requests: t.dump_requests,
+            health_requests: t.health_requests,
+            watch_requests: t.watch_requests,
+            responses: self.responses.load(Ordering::Relaxed),
+            write_errors: self.write_errors.load(Ordering::Relaxed),
+            fleet: self.fleet(),
+            retained: Vec::new(),
+        };
+        drop(t);
+        let mut st = lock_unpoisoned(&self.store);
+        summary.retained = std::mem::take(&mut st.traces);
+        summary.retained.sort_by_key(|t| t.trace_id);
+        summary
+    }
 }
 
 /// In-flight request gate: admission increments before pushing a job,
@@ -825,13 +1608,16 @@ impl Gate {
 
 /// Bounded MPMC job queue: admission pushes (never blocks — the
 /// caller sheds on full), workers block on pop until closed + empty.
+/// Each job carries the reply channel of the connection (or stdin
+/// session) that admitted it, so responses route back to the right
+/// client no matter which worker finishes them.
 struct Queue {
     state: Mutex<QueueState>,
     ready: Condvar,
 }
 
 struct QueueState {
-    jobs: VecDeque<Job>,
+    jobs: VecDeque<(Job, mpsc::Sender<String>)>,
     closed: bool,
 }
 
@@ -851,12 +1637,12 @@ impl Queue {
         lock_unpoisoned(&self.state).jobs.len()
     }
 
-    fn push(&self, job: Job) {
-        lock_unpoisoned(&self.state).jobs.push_back(job);
+    fn push(&self, job: Job, reply: mpsc::Sender<String>) {
+        lock_unpoisoned(&self.state).jobs.push_back((job, reply));
         self.ready.notify_one();
     }
 
-    fn pop(&self) -> Option<Job> {
+    fn pop(&self) -> Option<(Job, mpsc::Sender<String>)> {
         let mut st = lock_unpoisoned(&self.state);
         loop {
             if let Some(job) = st.jobs.pop_front() {
@@ -903,82 +1689,16 @@ pub fn serve<R: BufRead, W: Write + Send>(
     cfg: &ServeConfig,
 ) -> ServeSummary {
     install_fault_panic_hook();
-    let started = Instant::now();
-    let workers = cfg.workers.max(1);
-    let cap = cfg.queue_capacity.max(1);
-    let queue = Queue::new();
-    let worker_regs: Vec<Mutex<MetricsRegistry>> = (0..workers)
-        .map(|_| Mutex::new(MetricsRegistry::new()))
-        .collect();
-    // One event ring per worker (a worker records one request at a
-    // time, so rings never mix concurrent traces) plus one for
-    // admission-side synthesized traces (shed / bad-request).
-    let event_log = |enabled: bool| {
-        if enabled {
-            EventLog::with_capacity(cfg.recorder.capacity)
-        } else {
-            EventLog::off()
-        }
-    };
-    let worker_logs: Vec<EventLog> = (0..workers)
-        .map(|_| event_log(cfg.recorder.enabled))
-        .collect();
-    let admission_log = event_log(cfg.recorder.enabled);
-    let store = Mutex::new(RetainedStore {
-        traces: Vec::new(),
-        dropped: 0,
-        max: cfg.recorder.max_retained.max(1),
-    });
-    let gate = Gate::new();
-    let mut admission_reg = MetricsRegistry::new();
+    let core = Core::new(cfg, "stdin");
     let (tx, rx) = mpsc::channel::<String>();
-    let responses = AtomicU64::new(0);
-    let write_errors = AtomicU64::new(0);
-    let mut summary = ServeSummary::default();
 
     std::thread::scope(|s| {
-        let responses = &responses;
-        let write_errors = &write_errors;
-        s.spawn(move || {
-            let mut out = output;
-            let mut sink_broken = false;
-            for line in rx {
-                if sink_broken {
-                    write_errors.fetch_add(1, Ordering::Relaxed);
-                    continue;
-                }
-                match writeln!(out, "{line}") {
-                    Ok(()) => {
-                        responses.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Err(_) => {
-                        // Broken pipe et al.: keep draining so workers
-                        // never block on a dead sink.
-                        sink_broken = true;
-                        write_errors.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-            }
-            let _ = out.flush();
-        });
-        let queue = &queue;
-        let gate = &gate;
-        let store = &store;
-        for (reg, log) in worker_regs.iter().zip(&worker_logs) {
-            let tx = tx.clone();
-            s.spawn(move || {
-                while let Some(job) = queue.pop() {
-                    let resp = process(job, cfg, reg, log, store);
-                    // The receiver outlives the workers; a send can
-                    // only fail if the writer died, which only happens
-                    // at teardown.
-                    let _ = tx.send(resp);
-                    gate.exit();
-                }
-            });
+        let core = &core;
+        s.spawn(move || core.writer_loop(output, rx));
+        for i in 0..core.workers {
+            s.spawn(move || core.worker_loop(i));
         }
 
-        let mut seq = 0u64;
         let mut line = String::new();
         loop {
             line.clear();
@@ -990,188 +1710,24 @@ pub fn serve<R: BufRead, W: Write + Send>(
             if trimmed.is_empty() {
                 continue;
             }
-            seq += 1;
-            summary.lines += 1;
-            admission_reg.incr(CounterId::ServeRequests);
-            let (id, parsed) = parse_request(trimmed, seq, &cfg.options);
-            match parsed {
-                Err(msg) => {
-                    summary.bad_requests += 1;
-                    admission_reg.incr(CounterId::ServeErrBadRequest);
-                    synth_trace(
-                        &cfg.recorder,
-                        &admission_log,
-                        &mut admission_reg,
-                        store,
-                        seq,
-                        OUTCOME_BAD_REQUEST,
-                        None,
-                    );
-                    let _ = tx.send(error_response(&id, "bad-request", &msg, None));
-                }
-                Ok(Parsed::Stats) => {
-                    summary.stats_requests += 1;
-                    let mut fleet = MetricsRegistry::new();
-                    fleet.merge(&admission_reg);
-                    for reg in &worker_regs {
-                        fleet.merge(&lock_unpoisoned(reg));
-                    }
-                    let mut w = JsonWriter::new();
-                    w.begin_object();
-                    write_id(&mut w, &id);
-                    w.field_str("status", "ok");
-                    w.field_str("cmd", "stats");
-                    w.field_u64("uptime_ms", started.elapsed().as_millis() as u64);
-                    w.begin_array_field("workers");
-                    for reg in &worker_regs {
-                        w.elem_u64(lock_unpoisoned(reg).counter(CounterId::ServeProcessed));
-                    }
-                    w.end_array();
-                    w.begin_object_field("latency");
-                    for (hid, class) in HistogramId::LATENCY_CLASSES {
-                        w.begin_object_field(class);
-                        let h = fleet.histogram(hid);
-                        w.field_u64("count", h.map_or(0, |h| h.count));
-                        for (key, q) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99)] {
-                            match h.and_then(|h| h.quantile(q)) {
-                                Some(v) => w.field_f64(key, v, 1),
-                                None => w.field_null(key),
-                            }
-                        }
-                        w.end_object();
-                    }
-                    w.end_object();
-                    w.begin_object_field("fleet");
-                    fleet.write_json(&mut w);
-                    w.end_object();
-                    w.end_object();
-                    let _ = tx.send(w.finish());
-                }
-                Ok(Parsed::Dump) => {
-                    summary.dump_requests += 1;
-                    // Barrier: wait out every in-flight request so the
-                    // drained set is complete and (under a fault seed)
-                    // deterministic.
-                    gate.wait_idle();
-                    let (mut traces, dropped) = {
-                        let mut st = lock_unpoisoned(store);
-                        (std::mem::take(&mut st.traces), st.dropped)
-                    };
-                    traces.sort_by_key(|t| t.trace_id);
-                    let mut w = JsonWriter::new();
-                    w.begin_object();
-                    write_id(&mut w, &id);
-                    w.field_str("status", "ok");
-                    w.field_str("cmd", "dump");
-                    w.field_u64("retained", traces.len() as u64);
-                    w.field_u64("dropped", dropped);
-                    w.begin_array_field("traces");
-                    for t in &traces {
-                        t.write_json(&mut w);
-                    }
-                    w.end_array();
-                    w.end_object();
-                    let _ = tx.send(w.finish());
-                }
-                Ok(Parsed::Run(mut job)) => {
-                    let depth = queue.depth();
-                    admission_reg.observe(HistogramId::ServeQueueDepth, depth as u64);
-                    if depth >= cap {
-                        summary.shed += 1;
-                        admission_reg.incr(CounterId::ServeErrOverloaded);
-                        let hint = retry_after_hint(cfg.retry_after_ms, depth, workers);
-                        admission_reg.observe(HistogramId::ServeLatencyOverloadedUs, 0);
-                        synth_trace(
-                            &cfg.recorder,
-                            &admission_log,
-                            &mut admission_reg,
-                            store,
-                            seq,
-                            OUTCOME_OVERLOADED,
-                            Some((EventKind::Shed, depth as u64, hint)),
-                        );
-                        let _ = tx.send(error_response(
-                            &id,
-                            "overloaded",
-                            "admission queue is full",
-                            Some(hint),
-                        ));
-                        continue;
-                    }
-                    // Degrade *before* shedding: at half occupancy the
-                    // pool is behind, so optional observability goes
-                    // first; at three quarters, cap the memo table too.
-                    job.degrade_traces = depth * 2 >= cap;
-                    job.degrade_cache = depth * 4 >= cap * 3;
-                    job.admitted_at = Instant::now();
-                    job.token = job
-                        .deadline_ms
-                        .or(cfg.default_deadline_ms)
-                        .map(|ms| CancelToken::with_deadline(Duration::from_millis(ms)));
-                    summary.admitted += 1;
-                    gate.enter();
-                    queue.push(*job);
-                }
+            if let Admitted::Watch { id, .. } = core.handle_line(trimmed, &tx) {
+                // Streaming needs a connection to stream to; on the
+                // one-shot stdin transport it is a bad request.
+                lock_unpoisoned(&core.tally).bad_requests += 1;
+                lock_unpoisoned(&core.admission_reg).incr(CounterId::ServeErrBadRequest);
+                let _ = tx.send(error_response(
+                    &id,
+                    "bad-request",
+                    "watch streams over the socket transport; connect with --listen / tc top",
+                    None,
+                ));
             }
         }
-        queue.close();
+        core.queue.close();
         drop(tx);
     });
 
-    let mut fleet = MetricsRegistry::new();
-    fleet.merge(&admission_reg);
-    for reg in &worker_regs {
-        fleet.merge(&lock_unpoisoned(reg));
-    }
-    summary.responses = responses.load(Ordering::Relaxed);
-    summary.write_errors = write_errors.load(Ordering::Relaxed);
-    summary.fleet = fleet;
-    {
-        let mut st = lock_unpoisoned(&store);
-        summary.retained = std::mem::take(&mut st.traces);
-        summary.retained.sort_by_key(|t| t.trace_id);
-    }
-    summary
-}
-
-/// Synthesize and retain a minimal trace for a request that never
-/// reached a worker (shed at admission, or unparseable): a
-/// `RequestStart`, an optional cause event, and a `RequestEnd` with
-/// the error outcome — so *every* anomalous request has a retained
-/// trace, not just the ones that ran.
-fn synth_trace(
-    rec: &RecorderConfig,
-    log: &EventLog,
-    reg: &mut MetricsRegistry,
-    store: &Mutex<RetainedStore>,
-    seq: u64,
-    outcome: u64,
-    cause: Option<(EventKind, u64, u64)>,
-) {
-    if !rec.enabled {
-        return;
-    }
-    let scope = log.scope(seq);
-    scope.record(EventKind::RequestStart, seq, 0);
-    if let Some((kind, a0, a1)) = cause {
-        scope.record(kind, a0, a1);
-    }
-    scope.record(EventKind::RequestEnd, outcome, 0);
-    let kept = retain(
-        store,
-        RetainedTrace {
-            trace_id: seq,
-            outcome,
-            reason: outcome_name(outcome),
-            latency_us: 0,
-            events: log.extract(seq),
-        },
-    );
-    reg.incr(if kept {
-        CounterId::ServeTracesRetained
-    } else {
-        CounterId::ServeTracesDropped
-    });
+    core.summary()
 }
 
 /// Convenience for tests and the differential harness: serve a batch
@@ -1716,5 +2272,185 @@ mod tests {
         let (_, summary) = serve_lines(&lines, &cfg);
         assert_eq!(summary.retained.len(), 1);
         assert_eq!(summary.retained[0].reason, "slow");
+    }
+
+    #[test]
+    fn health_probe_answers_on_stdin_and_stays_out_of_request_counters() {
+        let lines = vec![
+            req(1, "main = add 1 2;"),
+            "{\"id\": 2, \"cmd\": \"health\"}".to_string(),
+        ];
+        let (out, summary) = serve_lines(&lines, &ServeConfig::default());
+        assert_eq!(out.len(), 2);
+        assert_eq!(summary.health_requests, 1);
+        // A probe is not a request: only the run counts.
+        assert_eq!(summary.fleet.counter(CounterId::ServeRequests), 1);
+        let vals = parse_all(&out);
+        let h = by_id(&vals, 2);
+        assert_eq!(h.get("status").and_then(|s| s.as_str()), Some("ok"));
+        assert_eq!(h.get("cmd").and_then(|s| s.as_str()), Some("health"));
+        assert_eq!(h.get("healthy").and_then(|b| b.as_bool()), Some(true));
+        assert_eq!(h.get("transport").and_then(|s| s.as_str()), Some("stdin"));
+        let queue = h.get("queue").unwrap_or_else(|| panic!("queue: {out:?}"));
+        assert_eq!(
+            queue.get("capacity").and_then(|n| n.as_u64()),
+            Some(ServeConfig::default().queue_capacity as u64)
+        );
+        assert_eq!(queue.get("accepting").and_then(|b| b.as_bool()), Some(true));
+        let workers = h
+            .get("workers")
+            .unwrap_or_else(|| panic!("workers: {out:?}"));
+        assert_eq!(
+            workers.get("configured").and_then(|n| n.as_u64()),
+            Some(ServeConfig::default().workers as u64)
+        );
+        let window = h
+            .get("shed_window")
+            .unwrap_or_else(|| panic!("shed_window: {out:?}"));
+        assert_eq!(
+            window.get("seconds").and_then(|n| n.as_u64()),
+            Some(SHED_WINDOW_SECS)
+        );
+        // The run was admitted inside the window and nothing shed.
+        assert_eq!(window.get("admitted").and_then(|n| n.as_u64()), Some(1));
+        assert_eq!(window.get("shed").and_then(|n| n.as_u64()), Some(0));
+    }
+
+    #[test]
+    fn watch_on_stdin_is_rejected_as_bad_request() {
+        let lines = vec!["{\"id\": 1, \"cmd\": \"watch\", \"interval_ms\": 50}".to_string()];
+        let (out, summary) = serve_lines(&lines, &ServeConfig::default());
+        assert_eq!(out.len(), 1);
+        assert_eq!(summary.watch_requests, 0, "nothing subscribed");
+        assert_eq!(summary.bad_requests, 1);
+        let vals = parse_all(&out);
+        assert_eq!(
+            vals[0].get("error").and_then(|s| s.as_str()),
+            Some("bad-request")
+        );
+        assert!(vals[0]
+            .get("detail")
+            .and_then(|s| s.as_str())
+            .is_some_and(|d| d.contains("socket")));
+    }
+
+    #[test]
+    fn stats_reports_transport_and_active_connections() {
+        let lines = vec!["{\"id\": 1, \"cmd\": \"stats\"}".to_string()];
+        let (out, _) = serve_lines(&lines, &ServeConfig::default());
+        let vals = parse_all(&out);
+        let stats = by_id(&vals, 1);
+        assert_eq!(
+            stats.get("transport").and_then(|s| s.as_str()),
+            Some("stdin")
+        );
+        assert_eq!(
+            stats.get("active_connections").and_then(|n| n.as_u64()),
+            Some(0)
+        );
+    }
+
+    /// A `Write` that appends into shared memory, for capturing the
+    /// access log inside a test.
+    #[derive(Clone)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            lock_unpoisoned(&self.0).extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn access_log_records_every_completion_even_unretained_ones() {
+        let buf = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+        let cfg = ServeConfig {
+            access_log: Some(AccessLog::to_writer(Box::new(buf.clone()))),
+            ..ServeConfig::default()
+        };
+        let lines = vec![
+            req(1, "main = add 1 2;"),
+            "{not json".to_string(),
+            req(3, "main = mul 2 3;"),
+        ];
+        let (out, summary) = serve_lines(&lines, &cfg);
+        assert_eq!(out.len(), 3);
+        // The recorder is off, so no trace was retained — but every
+        // request still left an access record.
+        assert!(summary.retained.is_empty());
+        let text = String::from_utf8_lossy(&lock_unpoisoned(&buf.0)).to_string();
+        let records: Vec<json::Value> = text
+            .lines()
+            .map(|l| json::parse(l).unwrap_or_else(|e| panic!("access line {l:?}: {e}")))
+            .collect();
+        assert_eq!(records.len(), 3);
+        for r in &records {
+            assert!(r.get("seq").and_then(|n| n.as_u64()).is_some());
+            assert!(r.get("outcome").and_then(|s| s.as_str()).is_some());
+            assert!(r.get("latency_us").and_then(|n| n.as_u64()).is_some());
+        }
+        let bad = records
+            .iter()
+            .find(|r| r.get("outcome").and_then(|s| s.as_str()) == Some("bad-request"))
+            .unwrap_or_else(|| panic!("no bad-request access record in {text}"));
+        assert!(
+            bad.get("worker")
+                .is_some_and(|w| matches!(w, json::Value::Null)),
+            "a request that never reached the pool has no worker"
+        );
+        let ok: Vec<_> = records
+            .iter()
+            .filter(|r| r.get("outcome").and_then(|s| s.as_str()) == Some("ok"))
+            .collect();
+        assert_eq!(ok.len(), 2);
+        for r in ok {
+            assert!(r.get("worker").and_then(|n| n.as_u64()).is_some());
+        }
+    }
+
+    #[test]
+    fn watch_ticks_difference_against_the_previous_snapshot_and_reconcile() {
+        // Drive the Core directly: admission-side counters are enough
+        // to exercise the delta arithmetic without a worker pool.
+        let core = Core::new(&ServeConfig::default(), "stdin");
+        let id = ReqId::Num(7);
+        {
+            let mut reg = lock_unpoisoned(&core.admission_reg);
+            reg.add(CounterId::ServeRequests, 5);
+            reg.observe(HistogramId::ServeLatencyOkUs, 100);
+        }
+        let zero = MetricsSnapshot::default();
+        let (line1, snap1) = core.watch_tick(&id, 1, 1000, &zero);
+        let v1 = json::parse(&line1).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(v1.get("cmd").and_then(|s| s.as_str()), Some("watch"));
+        assert_eq!(v1.get("tick").and_then(|n| n.as_u64()), Some(1));
+        // 5 requests over a 1000 ms window.
+        assert_eq!(v1.get("qps").and_then(|n| n.as_f64()), Some(5.0));
+        {
+            let mut reg = lock_unpoisoned(&core.admission_reg);
+            reg.add(CounterId::ServeRequests, 3);
+        }
+        let (line2, snap2) = core.watch_tick(&id, 2, 1000, &snap1);
+        let v2 = json::parse(&line2).unwrap_or_else(|e| panic!("{e}"));
+        // Only the increment since the previous tick is reported.
+        assert_eq!(v2.get("qps").and_then(|n| n.as_f64()), Some(3.0));
+        // Reconciliation: zero + delta1 + delta2 == the absolute
+        // snapshot at the last tick.
+        let mut summed = MetricsSnapshot::default();
+        summed.absorb(&snap1.delta(&zero));
+        summed.absorb(&snap2.delta(&snap1));
+        assert_eq!(
+            summed.counter(CounterId::ServeRequests),
+            snap2.counter(CounterId::ServeRequests)
+        );
+        assert_eq!(summed.counter(CounterId::ServeRequests), 8);
+        assert_eq!(
+            summed.histogram(HistogramId::ServeLatencyOkUs).count,
+            snap2.histogram(HistogramId::ServeLatencyOkUs).count
+        );
     }
 }

@@ -50,7 +50,8 @@ pub use chrome::{chrome_trace_json, SpanEvent};
 pub use events::{Event, EventKind, EventLog, EventScope};
 pub use json::JsonWriter;
 pub use metrics::{
-    bucket_index, bucket_lo, CounterId, GaugeId, Histogram, HistogramId, MetricsRegistry,
+    bucket_index, bucket_lo, CounterId, GaugeId, Histogram, HistogramId, HistogramSnapshot,
+    MetricsRegistry, MetricsSnapshot,
 };
 
 use std::fmt;

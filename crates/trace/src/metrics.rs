@@ -349,6 +349,37 @@ impl Histogram {
         self.buckets.iter().rposition(|&c| c > 0).map(bucket_lo)
     }
 
+    /// The change between two readings of the same histogram: every
+    /// bucket count, the total count, and the sum as saturating
+    /// differences (`self` is the later reading). Because the
+    /// differences saturate at zero, a delta's quantiles — computed
+    /// from the differenced buckets exactly like any histogram's —
+    /// can never go negative, even if the readings were swapped.
+    pub fn delta(&self, earlier: &Histogram) -> Histogram {
+        let mut d = Histogram::default();
+        for (slot, (&new, &old)) in d
+            .buckets
+            .iter_mut()
+            .zip(self.buckets.iter().zip(earlier.buckets.iter()))
+        {
+            *slot = new.saturating_sub(old);
+        }
+        d.count = self.count.saturating_sub(earlier.count);
+        d.sum = self.sum.saturating_sub(earlier.sum);
+        d
+    }
+
+    /// Fold another histogram's mass into this one (bucket-wise
+    /// saturating add) — the inverse of [`Histogram::delta`]:
+    /// `earlier.absorb(&later.delta(&earlier))` reconstructs `later`.
+    pub fn absorb(&mut self, other: &Histogram) {
+        for (slot, &c) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *slot = slot.saturating_add(c);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
     /// The `q`-quantile (`0.0 ..= 1.0`) of the observed distribution,
     /// estimated by linear interpolation within the containing log2
     /// bucket. Exact when the containing bucket has a single
@@ -380,6 +411,209 @@ impl Histogram {
             below = through;
         }
         self.max_bucket_lo().map(|lo| lo as f64)
+    }
+}
+
+/// A point-in-time reading of one histogram, for delta arithmetic
+/// between successive readings of a live registry. A snapshot *is* a
+/// histogram — the same buckets, count, and sum — so every rendering
+/// and quantile routine applies to deltas unchanged.
+pub type HistogramSnapshot = Histogram;
+
+/// A point-in-time reading of a whole [`MetricsRegistry`] (or a fleet
+/// merge of several), detached from the live arrays so successive
+/// readings can be differenced. This is the unit of the serve `watch`
+/// stream: each tick ships `later.delta(&earlier)` — counters as
+/// differences, histograms via [`HistogramSnapshot::delta`] — and a
+/// consumer reconstructs any absolute reading by absorbing deltas in
+/// order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    counters: [u64; CounterId::ALL.len()],
+    gauges: [u64; GaugeId::ALL.len()],
+    histograms: [HistogramSnapshot; HistogramId::ALL.len()],
+}
+
+impl Default for MetricsSnapshot {
+    fn default() -> Self {
+        MetricsSnapshot {
+            counters: [0; CounterId::ALL.len()],
+            gauges: [0; GaugeId::ALL.len()],
+            histograms: [HistogramSnapshot::default(); HistogramId::ALL.len()],
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    pub fn counter(&self, id: CounterId) -> u64 {
+        self.counters[id as usize]
+    }
+
+    pub fn gauge(&self, id: GaugeId) -> u64 {
+        self.gauges[id as usize]
+    }
+
+    pub fn histogram(&self, id: HistogramId) -> &HistogramSnapshot {
+        &self.histograms[id as usize]
+    }
+
+    /// True iff nothing happened: every counter, gauge, and histogram
+    /// slot is zero. `later.delta(&earlier)` of two equal readings is
+    /// zero (property-tested below).
+    pub fn is_zero(&self) -> bool {
+        self.counters.iter().all(|&c| c == 0)
+            && self.gauges.iter().all(|&g| g == 0)
+            && self
+                .histograms
+                .iter()
+                .all(|h| h.count == 0 && h.sum == 0 && h.buckets.iter().all(|&b| b == 0))
+    }
+
+    /// The change between two readings: every slot as a saturating
+    /// difference, `self` being the later reading. Saturation means a
+    /// delta can never go negative — swapped arguments yield zeros,
+    /// not garbage. Gauges are levels, but between two readings of a
+    /// monotone run their increase is their difference, and
+    /// [`MetricsSnapshot::absorb`] adds it back.
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut d = MetricsSnapshot::default();
+        for (slot, (&new, &old)) in d
+            .counters
+            .iter_mut()
+            .zip(self.counters.iter().zip(earlier.counters.iter()))
+        {
+            *slot = new.saturating_sub(old);
+        }
+        for (slot, (&new, &old)) in d
+            .gauges
+            .iter_mut()
+            .zip(self.gauges.iter().zip(earlier.gauges.iter()))
+        {
+            *slot = new.saturating_sub(old);
+        }
+        for (slot, (new, old)) in d
+            .histograms
+            .iter_mut()
+            .zip(self.histograms.iter().zip(earlier.histograms.iter()))
+        {
+            *slot = new.delta(old);
+        }
+        d
+    }
+
+    /// Fold a delta back in (element-wise saturating add) — the
+    /// inverse of [`MetricsSnapshot::delta`]:
+    /// `earlier.absorb(&later.delta(&earlier))` reconstructs `later`
+    /// exactly for any monotone pair of readings, so a `watch`
+    /// consumer summing every tick holds the server's absolute
+    /// snapshot.
+    pub fn absorb(&mut self, delta: &MetricsSnapshot) {
+        for (slot, &v) in self.counters.iter_mut().zip(delta.counters.iter()) {
+            *slot = slot.saturating_add(v);
+        }
+        for (slot, &v) in self.gauges.iter_mut().zip(delta.gauges.iter()) {
+            *slot = slot.saturating_add(v);
+        }
+        for (slot, h) in self.histograms.iter_mut().zip(delta.histograms.iter()) {
+            slot.absorb(h);
+        }
+    }
+
+    /// Serialize sparsely as three fields (`"counters"`, `"gauges"`,
+    /// `"histograms"`) of the writer's current object: only nonzero
+    /// counters/gauges and nonempty histograms appear, so an idle
+    /// watch tick is a few bytes, not the whole catalog.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object_field("counters");
+        for &id in &CounterId::ALL {
+            let v = self.counter(id);
+            if v > 0 {
+                w.field_u64(id.name(), v);
+            }
+        }
+        w.end_object();
+        w.begin_object_field("gauges");
+        for &id in &GaugeId::ALL {
+            let v = self.gauge(id);
+            if v > 0 {
+                w.field_u64(id.name(), v);
+            }
+        }
+        w.end_object();
+        w.begin_object_field("histograms");
+        for &id in &HistogramId::ALL {
+            let h = self.histogram(id);
+            if h.count == 0 {
+                continue;
+            }
+            w.begin_object_field(id.name());
+            w.field_u64("count", h.count);
+            w.field_u64("sum", h.sum);
+            w.begin_object_field("buckets");
+            for (i, &c) in h.buckets.iter().enumerate() {
+                if c > 0 {
+                    w.field_u64(&bucket_lo(i).to_string(), c);
+                }
+            }
+            w.end_object();
+            w.end_object();
+        }
+        w.end_object();
+    }
+
+    /// Parse a snapshot (or delta) written by
+    /// [`MetricsSnapshot::write_json`]. Unknown metric names are
+    /// ignored — a newer server may ship counters an older consumer
+    /// has no slot for — and missing fields read as zero.
+    pub fn from_json(v: &crate::json::Value) -> Result<MetricsSnapshot, String> {
+        let mut s = MetricsSnapshot::default();
+        if let Some(obj) = v.get("counters").and_then(|c| c.as_object()) {
+            for (name, val) in obj {
+                if let Some(id) = CounterId::ALL.iter().find(|id| id.name() == name.as_str()) {
+                    s.counters[*id as usize] =
+                        val.as_u64().ok_or_else(|| format!("counter `{name}`"))?;
+                }
+            }
+        }
+        if let Some(obj) = v.get("gauges").and_then(|c| c.as_object()) {
+            for (name, val) in obj {
+                if let Some(id) = GaugeId::ALL.iter().find(|id| id.name() == name.as_str()) {
+                    s.gauges[*id as usize] =
+                        val.as_u64().ok_or_else(|| format!("gauge `{name}`"))?;
+                }
+            }
+        }
+        if let Some(obj) = v.get("histograms").and_then(|c| c.as_object()) {
+            for (name, val) in obj {
+                let Some(id) = HistogramId::ALL
+                    .iter()
+                    .find(|id| id.name() == name.as_str())
+                else {
+                    continue;
+                };
+                let h = &mut s.histograms[*id as usize];
+                h.count = val
+                    .get("count")
+                    .and_then(|n| n.as_u64())
+                    .ok_or_else(|| format!("histogram `{name}`: missing count"))?;
+                h.sum = val
+                    .get("sum")
+                    .and_then(|n| n.as_u64())
+                    .ok_or_else(|| format!("histogram `{name}`: missing sum"))?;
+                if let Some(buckets) = val.get("buckets").and_then(|b| b.as_object()) {
+                    for (lo, c) in buckets {
+                        let lo: u64 = lo
+                            .parse()
+                            .map_err(|_| format!("histogram `{name}`: bad bucket `{lo}`"))?;
+                        let c = c
+                            .as_u64()
+                            .ok_or_else(|| format!("histogram `{name}`: bad bucket count"))?;
+                        h.buckets[bucket_index(lo)] = c;
+                    }
+                }
+            }
+        }
+        Ok(s)
     }
 }
 
@@ -473,6 +707,20 @@ impl MetricsRegistry {
     /// A histogram's current state (`None` when disabled).
     pub fn histogram(&self, id: HistogramId) -> Option<&Histogram> {
         self.data.as_ref().map(|d| &d.histograms[id as usize])
+    }
+
+    /// A detached point-in-time reading of every metric, for delta
+    /// arithmetic between successive readings ([`MetricsSnapshot`]).
+    /// A disabled registry reads as all-zero.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        match self.data.as_ref() {
+            None => MetricsSnapshot::default(),
+            Some(d) => MetricsSnapshot {
+                counters: d.counters,
+                gauges: d.gauges,
+                histograms: d.histograms,
+            },
+        }
     }
 
     /// Nonzero counters as `(name, value)` pairs, catalog order. Used
@@ -846,6 +1094,145 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(rows, sorted, "table rows must be name-sorted:\n{table}");
         assert_eq!(rows.len(), total);
+    }
+
+    /// Apply a burst of random *monotone* activity to a live registry:
+    /// counters add, histograms observe, gauges only ever rise. This
+    /// models successive readings of one server between watch ticks.
+    fn grow(m: &mut MetricsRegistry, seed: u64) {
+        let mut s = seed.max(1);
+        for &id in &CounterId::ALL {
+            m.add(id, xorshift(&mut s) >> 48);
+        }
+        for &id in &GaugeId::ALL {
+            let bump = xorshift(&mut s) >> 52;
+            m.set_gauge(id, m.gauge(id) + bump);
+        }
+        for &id in &HistogramId::ALL {
+            for _ in 0..(xorshift(&mut s) % 6) {
+                m.observe(id, xorshift(&mut s) >> (xorshift(&mut s) % 60));
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_delta_of_equal_readings_is_zero() {
+        for trial in 0..16u64 {
+            let a = random_registry(trial + 1).snapshot();
+            assert!(a.delta(&a).is_zero(), "delta(a, a) must be zero");
+        }
+        assert!(MetricsSnapshot::default().is_zero());
+        assert!(MetricsRegistry::off().snapshot().is_zero());
+    }
+
+    #[test]
+    fn absorbing_a_delta_reconstructs_the_later_reading() {
+        // a + delta(b, a) == b for successive readings of one live
+        // registry — the invariant that lets a watch consumer sum tick
+        // deltas into the server's absolute snapshot.
+        for trial in 0..16u64 {
+            let mut live = random_registry(trial * 7 + 1);
+            let earlier = live.snapshot();
+            grow(&mut live, trial * 7 + 2);
+            grow(&mut live, trial * 7 + 3);
+            let later = live.snapshot();
+            let delta = later.delta(&earlier);
+            let mut rebuilt = earlier.clone();
+            rebuilt.absorb(&delta);
+            assert_eq!(rebuilt, later, "absorb must invert delta (trial {trial})");
+        }
+        // Chained: summing every tick's delta from a zero start equals
+        // the final absolute reading.
+        let mut live = MetricsRegistry::new();
+        let mut held = MetricsSnapshot::default();
+        let mut prev = live.snapshot();
+        for tick in 0..5u64 {
+            grow(&mut live, tick + 100);
+            let now = live.snapshot();
+            held.absorb(&now.delta(&prev));
+            prev = now;
+        }
+        assert_eq!(held, live.snapshot());
+    }
+
+    #[test]
+    fn delta_quantiles_come_from_differenced_buckets_and_never_go_negative() {
+        // 50 fast observations, snapshot, then 50 slow ones: the
+        // delta's quantiles describe only the slow window, not the
+        // all-time mix.
+        let mut live = MetricsRegistry::new();
+        for _ in 0..50 {
+            live.observe(HistogramId::ServeLatencyUs, 1);
+        }
+        let earlier = live.snapshot();
+        for _ in 0..50 {
+            live.observe(HistogramId::ServeLatencyUs, 1000);
+        }
+        let later = live.snapshot();
+        let all_time = later.histogram(HistogramId::ServeLatencyUs);
+        assert_eq!(all_time.quantile(0.5), Some(1.0), "all-time p50 is fast");
+        let window = later
+            .histogram(HistogramId::ServeLatencyUs)
+            .delta(earlier.histogram(HistogramId::ServeLatencyUs));
+        assert_eq!(window.count, 50);
+        let p50 = window.quantile(0.5).unwrap();
+        assert!(
+            (512.0..=1023.0).contains(&p50),
+            "window p50 must see only the slow bucket: {p50}"
+        );
+        // Never negative — including for swapped (non-monotone)
+        // arguments, where saturation yields an empty histogram.
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert!(window.quantile(q).unwrap() >= 0.0, "q={q}");
+        }
+        let swapped = earlier
+            .histogram(HistogramId::ServeLatencyUs)
+            .delta(later.histogram(HistogramId::ServeLatencyUs));
+        assert_eq!(swapped.count, 0);
+        assert_eq!(swapped.quantile(0.5), None, "swapped delta is empty");
+        for trial in 0..8u64 {
+            let mut live = random_registry(trial + 40);
+            let a = live.snapshot();
+            grow(&mut live, trial + 50);
+            let d = live.snapshot().delta(&a);
+            for &id in &HistogramId::ALL {
+                for q in [0.1, 0.5, 0.99] {
+                    if let Some(v) = d.histogram(id).quantile(q) {
+                        assert!(v >= 0.0, "delta quantile negative: {v}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_json_roundtrips_sparsely() {
+        let mut live = MetricsRegistry::new();
+        live.add(CounterId::ServeOk, 7);
+        live.set_gauge(GaugeId::ResolveCacheEntries, 12);
+        live.observe(HistogramId::ServeLatencyUs, 300);
+        live.observe(HistogramId::ServeLatencyUs, 5);
+        let snap = live.snapshot();
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        snap.write_json(&mut w);
+        w.end_object();
+        let s = w.finish();
+        json::check(&s).unwrap_or_else(|e| panic!("{e}\n{s}"));
+        // Sparse: untouched counters are absent entirely.
+        assert!(s.contains("\"serve.ok\": 7"), "{s}");
+        assert!(!s.contains("serve.err.internal"), "{s}");
+        let parsed =
+            MetricsSnapshot::from_json(&json::parse(&s).unwrap()).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(parsed, snap, "write_json/from_json must round-trip");
+        // An empty snapshot round-trips to empty.
+        let zero = MetricsSnapshot::default();
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        zero.write_json(&mut w);
+        w.end_object();
+        let parsed = MetricsSnapshot::from_json(&json::parse(&w.finish()).unwrap()).unwrap();
+        assert!(parsed.is_zero());
     }
 
     #[test]

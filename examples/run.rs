@@ -14,6 +14,9 @@
 //! cargo run --example run -- --chrome-trace=t.json program.mh  # Perfetto-loadable trace
 //! cargo run --example run -- serve --workers=4     # JSONL batch server on stdin/stdout
 //! cargo run --example run -- serve --record --faults=seed=7;elaborate=panic%20
+//! cargo run --example run -- serve --listen=127.0.0.1:7441 --access-log=access.jsonl
+//! cargo run --example run -- top --connect=127.0.0.1:7441  # live telemetry dashboard
+//! cargo run --example run -- json-check output.jsonl  # RFC 8259-check every line
 //! cargo run --example run -- report dump.jsonl     # aggregate a dumped event log
 //! cargo run --example run -- report dump.jsonl --chrome=t.json  # + Perfetto trace
 //! ```
@@ -197,6 +200,45 @@ const SERVE_FLAGS: &[FlagSpec] = &[
         arg: Some("<n>"),
         help: "retained-trace store cap; overflow counts as dropped (default 256)",
     },
+    FlagSpec {
+        name: "--listen",
+        arg: Some("<host:port>"),
+        help: "serve the same protocol over TCP instead of stdin (port 0 picks a free port)",
+    },
+    FlagSpec {
+        name: "--port-file",
+        arg: Some("<file>"),
+        help: "with --listen, write the bound address to <file> once listening",
+    },
+    FlagSpec {
+        name: "--access-log",
+        arg: Some("<file|->"),
+        help: "append one JSONL access record per request (`-` logs to stderr)",
+    },
+];
+
+/// Flags understood by the `top` subcommand.
+const TOP_FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "--connect",
+        arg: Some("<host:port>"),
+        help: "address of a `serve --listen` server (required)",
+    },
+    FlagSpec {
+        name: "--interval-ms",
+        arg: Some("<ms>"),
+        help: "watch subscription interval (default 1000)",
+    },
+    FlagSpec {
+        name: "--frames",
+        arg: Some("<n>"),
+        help: "exit after <n> dashboard frames (default: run until the server closes)",
+    },
+    FlagSpec {
+        name: "--plain",
+        arg: None,
+        help: "append frames instead of redrawing in place (no ANSI escapes)",
+    },
 ];
 
 /// Flags understood by the `report` subcommand.
@@ -210,6 +252,8 @@ fn usage() -> String {
     let mut out = String::from(
         "usage: run [options] [program.mh]   (reads stdin when no file is given)\n\
          \x20      run serve [serve options]   (JSONL requests on stdin, responses on stdout)\n\
+         \x20      run top --connect=<host:port> [top options]   (live telemetry dashboard)\n\
+         \x20      run json-check <file|->   (validate each line as RFC 8259 JSON)\n\
          \x20      run report <dump.jsonl> [report options]   (aggregate a dumped event log)\n\noptions:\n",
     );
     for f in FLAGS {
@@ -221,6 +265,14 @@ fn usage() -> String {
     }
     out.push_str("\nserve options:\n");
     for f in SERVE_FLAGS {
+        let left = match f.arg {
+            Some(a) => format!("{}={}", f.name, a),
+            None => f.name.to_string(),
+        };
+        out.push_str(&format!("  {left:<36} {}\n", f.help));
+    }
+    out.push_str("\ntop options:\n");
+    for f in TOP_FLAGS {
         let left = match f.arg {
             Some(a) => format!("{}={}", f.name, a),
             None => f.name.to_string(),
@@ -386,6 +438,41 @@ const ERROR_CODES: &[(&str, &str, &str)] = &[
         "the request line was not a valid request object (malformed JSON, \
          missing `program`, or a bad field type); nothing was compiled",
     ),
+    (
+        "S0444",
+        "serve-watch",
+        "`{\"cmd\":\"watch\",\"interval_ms\":N}` streams one fleet-telemetry \
+         delta line per interval over the socket transport (counters as \
+         differences, per-class rps/p50/p99 from differenced histograms); \
+         the stream ends when the connection closes, and the stdin \
+         transport rejects it as a bad request because there is no \
+         connection to stream to",
+    ),
+    (
+        "S0445",
+        "serve-health",
+        "`{\"cmd\":\"health\"}` is an O(1) readiness/liveness probe — queue \
+         depth vs capacity, worker liveness, shed rate over the last \
+         window, retained-trace backlog — that bypasses admission and \
+         stays out of `serve.requests`, so it answers even when the \
+         admission queue is saturated",
+    ),
+    (
+        "S0446",
+        "serve-access-log",
+        "`--access-log <file|->` appends one JSONL record per request on \
+         the completion path (id, seq, outcome class, latency_us, trace \
+         retention decision, worker), so every request leaves a greppable \
+         record even when its flight-recorder trace is not retained",
+    ),
+    (
+        "S0447",
+        "serve-top",
+        "`run top --connect=<host:port>` subscribes to a socket server via \
+         `watch` and renders a self-refreshing terminal dashboard: qps, \
+         per-class latency quantiles, queue occupancy, cache hit rate, and \
+         shed/fault counters",
+    ),
 ];
 
 /// The codes-table entry for `code`: `(code, rule-name, default, text)`.
@@ -462,6 +549,8 @@ fn parse_num(flag: &str, value: &str) -> Result<u64, ExitCode> {
 /// session summary goes to stderr at EOF.
 fn serve_main(args: &[String]) -> ExitCode {
     let mut cfg = ServeConfig::default();
+    let mut listen: Option<String> = None;
+    let mut port_file: Option<String> = None;
     for arg in args {
         match arg.as_str() {
             "--help" | "-h" => {
@@ -536,6 +625,21 @@ fn serve_main(args: &[String]) -> ExitCode {
                     Err(code) => return code,
                 }
             }
+            _ if arg.starts_with("--listen=") => {
+                listen = Some(arg["--listen=".len()..].to_string());
+            }
+            _ if arg.starts_with("--port-file=") => {
+                port_file = Some(arg["--port-file=".len()..].to_string());
+            }
+            _ if arg.starts_with("--access-log=") => {
+                match typeclasses::serve::AccessLog::create(&arg["--access-log=".len()..]) {
+                    Ok(log) => cfg.access_log = Some(log),
+                    Err(e) => {
+                        eprintln!("error: cannot open access log: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             _ => {
                 eprintln!("error: unknown serve option `{arg}`");
                 eprint!("{}", usage());
@@ -543,9 +647,41 @@ fn serve_main(args: &[String]) -> ExitCode {
             }
         }
     }
-    let stdin = std::io::stdin().lock();
-    let stdout = std::io::stdout();
-    let summary = typeclasses::serve::serve(stdin, stdout, &cfg);
+    let summary = if let Some(addr) = listen {
+        // Socket transport: bind first (so port 0 resolves), announce,
+        // then serve until the process is killed.
+        let listener = match std::net::TcpListener::bind(&addr) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("error: cannot listen on {addr}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let handle = match typeclasses::serve::serve_socket(listener, &cfg) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("error: cannot start socket server: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let bound = handle.addr();
+        if let Some(p) = &port_file {
+            if let Err(e) = std::fs::write(p, format!("{bound}\n")) {
+                eprintln!("error: cannot write {p}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        eprintln!("serve: listening on {bound} (health: {{\"cmd\":\"health\"}}; live view: run top --connect={bound})");
+        handle.wait()
+    } else {
+        if port_file.is_some() {
+            eprintln!("error: --port-file only makes sense with --listen");
+            return ExitCode::from(2);
+        }
+        let stdin = std::io::stdin().lock();
+        let stdout = std::io::stdout();
+        typeclasses::serve::serve(stdin, stdout, &cfg)
+    };
     eprintln!(
         "serve: {} requests ({} ok, {} internal, {} deadline, {} shed, {} bad), {} responses",
         summary.lines,
@@ -569,6 +705,215 @@ fn serve_main(args: &[String]) -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Render one `watch` tick as a dashboard frame: a header line, a
+/// one-line gauge row, and the per-outcome-class rate table.
+fn render_top_frame(addr: &str, v: &typeclasses::trace::json::Value) -> String {
+    let num = |k: &str| v.get(k).and_then(|n| n.as_u64()).unwrap_or(0);
+    let mut out = format!(
+        "tc top — {addr} · tick {} · window {} ms · uptime {:.1}s\n",
+        num("tick"),
+        num("window_ms"),
+        num("uptime_ms") as f64 / 1000.0,
+    );
+    let sub = |obj: &str, k: &str| {
+        v.get(obj)
+            .and_then(|o| o.get(k))
+            .and_then(|n| n.as_u64())
+            .unwrap_or(0)
+    };
+    let hit_rate = v
+        .get("cache")
+        .and_then(|c| c.get("hit_rate_pct"))
+        .and_then(|n| n.as_f64())
+        .unwrap_or(0.0);
+    out.push_str(&format!(
+        "qps {:.2} · queue {}/{} · connections {} · shed {} · faults {} · \
+         cache {hit_rate:.1}% ({} hit / {} miss)\n\n",
+        v.get("qps").and_then(|n| n.as_f64()).unwrap_or(0.0),
+        sub("queue", "depth"),
+        sub("queue", "capacity"),
+        num("active_connections"),
+        num("shed"),
+        num("faults"),
+        sub("cache", "hits"),
+        sub("cache", "misses"),
+    ));
+    out.push_str(&format!(
+        "  {:<12} {:>8} {:>10} {:>12} {:>12}\n",
+        "class", "count", "rps", "p50_us", "p99_us"
+    ));
+    for class in ["ok", "internal", "deadline", "overloaded"] {
+        let Some(c) = v.get("classes").and_then(|cs| cs.get(class)) else {
+            continue;
+        };
+        let quantile = |k: &str| {
+            c.get(k)
+                .and_then(|n| n.as_f64())
+                .map_or_else(|| "-".to_string(), |x| format!("{x:.1}"))
+        };
+        out.push_str(&format!(
+            "  {:<12} {:>8} {:>10.2} {:>12} {:>12}\n",
+            class,
+            c.get("count").and_then(|n| n.as_u64()).unwrap_or(0),
+            c.get("rps").and_then(|n| n.as_f64()).unwrap_or(0.0),
+            quantile("p50"),
+            quantile("p99"),
+        ));
+    }
+    out
+}
+
+/// The `top` subcommand: subscribe to a socket server's `watch`
+/// stream and redraw a telemetry dashboard on every tick.
+fn top_main(args: &[String]) -> ExitCode {
+    use typeclasses::trace::json;
+    let mut addr: Option<String> = None;
+    let mut interval_ms = 1000u64;
+    let mut frames = 0u64;
+    let mut plain = false;
+    for arg in args {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            "--plain" => plain = true,
+            _ if arg.starts_with("--connect=") => {
+                addr = Some(arg["--connect=".len()..].to_string());
+            }
+            _ if arg.starts_with("--interval-ms=") => {
+                match parse_num("--interval-ms", &arg["--interval-ms=".len()..]) {
+                    Ok(n) => interval_ms = n.max(10),
+                    Err(code) => return code,
+                }
+            }
+            _ if arg.starts_with("--frames=") => {
+                match parse_num("--frames", &arg["--frames=".len()..]) {
+                    Ok(n) => frames = n,
+                    Err(code) => return code,
+                }
+            }
+            _ => {
+                eprintln!("error: unknown top option `{arg}`");
+                eprint!("{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!(
+            "error: top needs --connect=<host:port> (start a server with `run serve --listen=...`)"
+        );
+        return ExitCode::from(2);
+    };
+    let stream = match std::net::TcpStream::connect(&addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot connect to {addr}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("error: cannot split the connection: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let sub = format!("{{\"id\":\"top\",\"cmd\":\"watch\",\"interval_ms\":{interval_ms}}}\n");
+    if writer
+        .write_all(sub.as_bytes())
+        .and_then(|()| writer.flush())
+        .is_err()
+    {
+        eprintln!("error: cannot send the watch subscription to {addr}");
+        return ExitCode::FAILURE;
+    }
+
+    use std::io::BufRead;
+    let reader = std::io::BufReader::new(stream);
+    let mut shown = 0u64;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Ok(v) = json::parse(line) else { continue };
+        if v.get("status").and_then(|s| s.as_str()) == Some("error") {
+            eprintln!(
+                "error: server rejected the subscription: {}",
+                v.get("detail").and_then(|d| d.as_str()).unwrap_or("?")
+            );
+            return ExitCode::from(2);
+        }
+        if v.get("tick").is_none() {
+            continue; // the subscription ack
+        }
+        shown += 1;
+        if !plain && !emit("\x1b[2J\x1b[H") {
+            return ExitCode::SUCCESS;
+        }
+        if !emit(&render_top_frame(&addr, &v)) {
+            return ExitCode::SUCCESS;
+        }
+        if frames > 0 && shown >= frames {
+            break;
+        }
+    }
+    if shown == 0 {
+        eprintln!("error: {addr} closed the stream before the first tick");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// The `json-check` subcommand: validate every nonempty line of a
+/// file (or stdin, with `-`) against the strict RFC 8259 checker.
+/// Exit 0 only when every line passes.
+fn json_check_main(args: &[String]) -> ExitCode {
+    use typeclasses::trace::json;
+    let [path] = args else {
+        eprintln!("error: json-check takes exactly one file (or `-` for stdin)");
+        return ExitCode::from(2);
+    };
+    let text = if path == "-" {
+        let mut s = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut s) {
+            eprintln!("error: cannot read stdin: {e}");
+            return ExitCode::from(2);
+        }
+        s
+    } else {
+        match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+    let mut checked = 0u64;
+    let mut bad = 0u64;
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        checked += 1;
+        if let Err(e) = json::check(line) {
+            bad += 1;
+            eprintln!("{path}:{}: {e}", i + 1);
+        }
+    }
+    if bad > 0 {
+        eprintln!("json-check: {bad} of {checked} line(s) failed");
+        return ExitCode::FAILURE;
+    }
+    let _ = emit(&format!("json-check: {checked} line(s) ok\n"));
+    ExitCode::SUCCESS
 }
 
 /// One trace pulled back out of a dump file.
@@ -936,6 +1281,12 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("report") {
         return report_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("top") {
+        return top_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("json-check") {
+        return json_check_main(&args[1..]);
     }
 
     // `--explain <CODE>` / `--explain=<CODE>` is a lookup, not a run:

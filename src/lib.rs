@@ -30,10 +30,13 @@ pub use tc_driver::{
 };
 pub use tc_eval::{Budget, BudgetSnapshot, EvalError, EvalProfile, EvalStats};
 pub use tc_lint::{LintConfig, Rule};
-pub use tc_serve::{retry_after_hint, RecorderConfig, RetainedTrace, ServeConfig, ServeSummary};
+pub use tc_serve::{
+    retry_after_hint, serve_socket, AccessLog, RecorderConfig, RetainedTrace, ServeConfig,
+    ServeSummary, SocketHandle, SHED_WINDOW_SECS,
+};
 pub use tc_syntax::LintLevel;
 pub use tc_trace::{
     bucket_index, chrome_trace_json, CancelToken, CounterId, Event, EventKind, EventLog,
-    EventScope, GaugeId, Histogram, HistogramId, JsonWriter, MetricsRegistry, SpanEvent, Stage,
-    StageSpan, Telemetry, TraceNode,
+    EventScope, GaugeId, Histogram, HistogramId, HistogramSnapshot, JsonWriter, MetricsRegistry,
+    MetricsSnapshot, SpanEvent, Stage, StageSpan, Telemetry, TraceNode,
 };
